@@ -1,0 +1,83 @@
+// Extension bench (paper §10 future work): constellation optimization
+// beyond the 802.15.7 layouts. Compares the standard layouts against
+// repulsion-optimized versions on two quality measures:
+//   - minimum inter-symbol distance (the standard's design objective),
+//   - Monte-Carlo SER under isotropic chromaticity noise of the
+//     magnitude the camera pipeline actually produces.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "colorbars/csk/constellation.hpp"
+#include "colorbars/util/rng.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+double min_distance(const std::vector<color::Chromaticity>& points) {
+  double best = 1e9;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      best = std::min(best, color::xy_distance(points[i], points[j]));
+    }
+  }
+  return best;
+}
+
+/// Monte-Carlo SER: transmit each point equally often, add Gaussian xy
+/// noise, decode by nearest neighbor.
+double noise_ser(const std::vector<color::Chromaticity>& points, double sigma,
+                 std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  long long errors = 0;
+  constexpr int kTrialsPerPoint = 3000;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (int trial = 0; trial < kTrialsPerPoint; ++trial) {
+      const color::Chromaticity received{points[i].x + rng.normal(0.0, sigma),
+                                         points[i].y + rng.normal(0.0, sigma)};
+      std::size_t best = 0;
+      double best_distance = 1e9;
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        const double d = color::xy_distance(points[j], received);
+        if (d < best_distance) {
+          best_distance = d;
+          best = j;
+        }
+      }
+      errors += best != i ? 1 : 0;
+    }
+  }
+  return static_cast<double>(errors) /
+         (static_cast<double>(points.size()) * kTrialsPerPoint);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: repulsion-optimized constellations vs 802.15.7 layouts");
+
+  const auto& gamut = color::default_led_gamut();
+  // Noise magnitude: ~1.5% of the xy plane — the per-band chromaticity
+  // spread the camera pipeline produces at moderate exposure.
+  const double sigma = 0.015;
+
+  std::printf("%-8s %-22s %-22s %-14s %-14s\n", "order", "min dist (standard)",
+              "min dist (optimized)", "SER (std)", "SER (opt)");
+  for (const csk::CskOrder order : csk::all_orders()) {
+    const csk::Constellation standard(order, gamut);
+    const auto optimized =
+        csk::optimize_constellation(gamut, standard.points(), 400);
+    std::printf("%-8s %-22.4f %-22.4f %-14.5f %-14.5f\n", bench::order_name(order),
+                min_distance(standard.points()), min_distance(optimized),
+                noise_ser(standard.points(), sigma, 7), noise_ser(optimized, sigma, 7));
+  }
+
+  std::printf(
+      "\nExpected shape: optimization never reduces the minimum distance, and the\n"
+      "gains concentrate at the higher orders (16/32-CSK) where the standard's\n"
+      "lattice layouts are furthest from a max-min packing — exactly the orders\n"
+      "whose SER limits ColorBars' goodput (Figs. 9/11).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 9: symbol error rate vs symbol frequency (1-4 kHz) for
+// 4/8/16/32-CSK on the Nexus 5 (9a) and iPhone 5S (9b) camera models,
+// with automatic exposure/ISO as in the paper.
+//
+// Paper shape: 4/8-CSK SER stays near zero (< 1e-3) at every frequency;
+// 16/32-CSK SER rises with frequency as narrower bands increase the
+// inter-symbol interference; the iPhone's cleaner color path gives it a
+// lower SER than the Nexus despite its larger inter-frame gap.
+
+#include "bench_util.hpp"
+#include "colorbars/core/link.hpp"
+
+using namespace colorbars;
+
+int main() {
+  bench::print_header("Fig. 9: SER vs symbol frequency (CIELab matching, auto exposure)");
+
+  for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
+    std::printf("\n%s\n", profile.name.c_str());
+    std::printf("%-8s", "");
+    for (const double frequency : bench::paper_frequencies()) {
+      std::printf(" %9.0fHz", frequency);
+    }
+    std::printf("\n");
+    for (const csk::CskOrder order : csk::all_orders()) {
+      std::printf("%-8s", bench::order_name(order));
+      for (const double frequency : bench::paper_frequencies()) {
+        core::LinkConfig config;
+        config.order = order;
+        config.symbol_rate_hz = frequency;
+        config.profile = profile;
+        config.seed = 0xf19 + static_cast<std::uint64_t>(frequency) +
+                      (static_cast<std::uint64_t>(order) << 20);
+        core::LinkSimulator sim(config);
+        const int symbols = static_cast<int>(frequency * 2.5);  // 2.5 s per point
+        const core::SerResult result = sim.run_ser(symbols);
+        std::printf(" %11.4f", result.ser());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: CSK4/CSK8 rows ~0 everywhere; CSK16/CSK32 grow with\n"
+      "frequency; iPhone 5S values sit below the Nexus 5 values.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the building blocks whose
+// speed governs real-time decoding on a phone (paper §8 uses a threaded
+// pipeline): color conversion, Bayer demosaic, Reed-Solomon, band
+// extraction and the end-to-end per-frame receiver cost.
+
+#include <benchmark/benchmark.h>
+
+#include "colorbars/camera/bayer.hpp"
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/color/lab.hpp"
+#include "colorbars/color/srgb.hpp"
+#include "colorbars/csk/mapper.hpp"
+#include "colorbars/led/tri_led.hpp"
+#include "colorbars/protocol/symbols.hpp"
+#include "colorbars/rs/reed_solomon.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+#include "colorbars/util/rng.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+void BM_SrgbToLab(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<util::Vec3> pixels(4096);
+  for (auto& pixel : pixels) pixel = {rng.uniform(), rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    for (const auto& pixel : pixels) {
+      benchmark::DoNotOptimize(
+          color::xyz_to_lab(color::linear_srgb_to_xyz(color::srgb_decode(pixel))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(pixels.size()));
+}
+BENCHMARK(BM_SrgbToLab);
+
+void BM_BayerDemosaic(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int columns = 64;
+  util::Xoshiro256 rng(2);
+  std::vector<double> raw(static_cast<std::size_t>(rows) * columns);
+  for (auto& value : raw) value = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(camera::demosaic(raw, rows, columns));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * columns);
+}
+BENCHMARK(BM_BayerDemosaic)->Arg(1080)->Arg(2448);
+
+void BM_RsEncode(benchmark::State& state) {
+  const rs::ReedSolomon code(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(0)) / 2);
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(message));
+  }
+  state.SetBytesProcessed(state.iterations() * code.k());
+}
+BENCHMARK(BM_RsEncode)->Arg(32)->Arg(64)->Arg(255);
+
+void BM_RsDecodeWithErasures(benchmark::State& state) {
+  const rs::ReedSolomon code(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(0)) / 2);
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(code.k()));
+  for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.below(256));
+  auto codeword = code.encode(message);
+  std::vector<int> erasures;
+  for (int i = 0; i < code.parity_count() / 2; ++i) {
+    erasures.push_back(i + 3);
+    codeword[static_cast<std::size_t>(i) + 3] = 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(codeword, erasures));
+  }
+  state.SetBytesProcessed(state.iterations() * code.n());
+}
+BENCHMARK(BM_RsDecodeWithErasures)->Arg(32)->Arg(64)->Arg(255);
+
+void BM_SymbolMapping(benchmark::State& state) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk16);
+  const csk::SymbolMapper mapper(constellation);
+  util::Xoshiro256 rng(5);
+  std::vector<std::uint8_t> payload(256);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_bytes(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long long>(payload.size()));
+}
+BENCHMARK(BM_SymbolMapping);
+
+camera::Frame captured_frame() {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  util::Xoshiro256 rng(6);
+  std::vector<protocol::ChannelSymbol> symbols;
+  for (int i = 0; i < 200; ++i) {
+    symbols.push_back(protocol::ChannelSymbol::data(static_cast<int>(rng.below(8))));
+  }
+  const led::EmissionTrace trace =
+      led.emit(protocol::drives_of(symbols, constellation), 2000.0);
+  camera::RollingShutterCamera camera(camera::nexus5_profile(), {}, 7);
+  return camera.capture_frame(trace, 0.01);
+}
+
+void BM_FrameReduceToScanlines(benchmark::State& state) {
+  const camera::Frame frame = captured_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rx::reduce_to_scanlines(frame));
+  }
+  state.SetItemsProcessed(state.iterations() * frame.rows * frame.columns);
+}
+BENCHMARK(BM_FrameReduceToScanlines);
+
+void BM_FrameExtractSlots(benchmark::State& state) {
+  const camera::Frame frame = captured_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rx::extract_slots(frame, 2000.0));
+  }
+  // Frames arrive at 30 fps; this must stay well under 33 ms for the
+  // paper's real-time Android pipeline to keep up.
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameExtractSlots);
+
+void BM_CameraCaptureFrame(benchmark::State& state) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  util::Xoshiro256 rng(8);
+  std::vector<protocol::ChannelSymbol> symbols;
+  for (int i = 0; i < 200; ++i) {
+    symbols.push_back(protocol::ChannelSymbol::data(static_cast<int>(rng.below(8))));
+  }
+  const led::EmissionTrace trace =
+      led.emit(protocol::drives_of(symbols, constellation), 2000.0);
+  camera::RollingShutterCamera camera(camera::nexus5_profile(), {}, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(camera.capture_frame(trace, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CameraCaptureFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

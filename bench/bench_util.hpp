@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper and prints it in a plain
+// text layout comparable to the published one.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "colorbars/csk/constellation.hpp"
+
+namespace colorbars::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const char* order_name(csk::CskOrder order) {
+  switch (order) {
+    case csk::CskOrder::kCsk4: return "CSK4";
+    case csk::CskOrder::kCsk8: return "CSK8";
+    case csk::CskOrder::kCsk16: return "CSK16";
+    case csk::CskOrder::kCsk32: return "CSK32";
+  }
+  return "?";
+}
+
+inline const std::vector<double>& paper_frequencies() {
+  static const std::vector<double> frequencies{1000, 2000, 3000, 4000};
+  return frequencies;
+}
+
+}  // namespace colorbars::bench

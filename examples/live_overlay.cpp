@@ -1,0 +1,71 @@
+// Live overlay: the paper's augmented-reality motivation (§1) — a phone
+// pointed at an LED shows information about what it sees, updating as
+// the video frames arrive. This example drives the frame-at-a-time
+// StreamingReceiver the way a camera callback would: one push per frame,
+// poll for packets, update the "overlay" as soon as data decodes —
+// instead of waiting for the whole capture like the batch receiver.
+//
+// Build & run:   ./build/examples/live_overlay
+
+#include <cstdio>
+#include <string>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/core/link.hpp"
+#include "colorbars/rx/streaming.hpp"
+#include "colorbars/tx/transmitter.hpp"
+
+using namespace colorbars;
+
+int main() {
+  const std::string broadcast =
+      "EXHIBIT 12: 'Dynamo' (1927). Bronze, 2.4m. Audio guide: dial 12#. "
+      "Next tour 15:30.";
+  std::vector<std::uint8_t> payload(broadcast.begin(), broadcast.end());
+
+  // Transmitter setup (the LED above the exhibit).
+  core::LinkConfig link;
+  link.order = csk::CskOrder::kCsk8;
+  link.symbol_rate_hz = 2000.0;
+  link.profile = camera::nexus5_profile();
+  const tx::Transmitter transmitter(link.transmitter_config());
+  const tx::Transmission transmission = transmitter.transmit(payload);
+
+  // The phone: capture frames and feed them to the streaming receiver as
+  // they "arrive".
+  camera::RollingShutterCamera camera(link.profile, link.scene, 0x0ce4);
+  const auto frames = camera.capture_video(transmission.trace);
+  rx::StreamingReceiver receiver(link.receiver_config());
+
+  std::printf("LED broadcasts %zu bytes; phone decodes frame by frame:\n\n",
+              payload.size());
+  std::size_t shown = 0;
+  for (const camera::Frame& frame : frames) {
+    receiver.push_frame(frame);
+    const auto fresh = receiver.poll();
+    int data_ok = 0;
+    for (const auto& record : fresh) {
+      if (record.kind == protocol::PacketKind::kData && record.ok) ++data_ok;
+    }
+    if (data_ok > 0 || frame.frame_index % 5 == 0) {
+      std::printf("frame %2d (t=%.2fs): +%d packet(s), overlay now shows: \"",
+                  frame.frame_index, frame.start_time_s, data_ok);
+      for (; shown < receiver.payload().size(); ++shown) {
+        // (stay quiet; we print the full overlay line below)
+      }
+      const auto& bytes = receiver.payload();
+      for (const std::uint8_t byte : bytes) {
+        std::printf("%c", byte >= 32 && byte < 127 ? static_cast<char>(byte) : '.');
+      }
+      std::printf("\"\n");
+    }
+  }
+  (void)receiver.finish();
+
+  std::printf("\ncapture over: %d frames, %zu bytes decoded of %zu sent.\n",
+              receiver.frames_ingested(), receiver.payload().size(), payload.size());
+  std::printf(
+      "(A deployed exhibit LED loops its broadcast, so a viewer who missed\n"
+      "packets on this pass completes the overlay within the next loop.)\n");
+  return receiver.payload().empty() ? 1 : 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: the smallest end-to-end ColorBars link.
+//
+// A tri-LED transmitter encodes a text message with Reed-Solomon,
+// packetizes it, modulates it as 8-CSK color symbols at 2000 symbols/sec
+// and "transmits" it by emitting a radiance waveform. A simulated Nexus
+// 5-class rolling-shutter camera records the LED, and the receiver
+// demodulates the colored bands back into bytes.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "colorbars/core/link.hpp"
+
+int main() {
+  using namespace colorbars;
+
+  const std::string message = "Hello from ColorBars! CSK over a rolling shutter.";
+  std::vector<std::uint8_t> payload(message.begin(), message.end());
+
+  // 1. Describe the link: modulation order, symbol rate, receiving device.
+  core::LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;       // 3 bits per color symbol
+  config.symbol_rate_hz = 2000.0;            // within the LED's 4.5 kHz limit
+  config.illumination_ratio = 0.8;           // 20% white symbols (flicker-free)
+  config.profile = camera::nexus5_profile(); // the paper's Android receiver
+
+  // 2. Run the transfer: TX -> LED -> camera -> RX, one call.
+  core::LinkSimulator link(config);
+  const core::LinkRunResult result = link.run_payload(payload);
+
+  // 3. Inspect what happened.
+  std::printf("sent      : %zu bytes (\"%s\")\n", payload.size(), message.c_str());
+  std::printf("recovered : %zu bytes\n", result.recovered_bytes);
+  std::printf("air time  : %.2f s  ->  goodput %.0f bps\n", result.air_time_s,
+              result.goodput_bps());
+  std::printf("packets   : %d ok, %d lost (headers in the inter-frame gap)\n",
+              result.report.data_packets_ok, result.report.data_packets_failed);
+  std::printf("calibration packets absorbed: %d\n", result.report.calibration_packets);
+
+  std::printf("\nreceived text: \"");
+  for (const std::uint8_t byte : result.report.payload) {
+    std::printf("%c", byte >= 32 && byte < 127 ? static_cast<char>(byte) : '.');
+  }
+  std::printf("\"\n");
+  std::printf(
+      "\n(Lost packets are expected on a single pass — the camera's inter-frame\n"
+      "gap swallows ~%d%% of headers. Real deployments broadcast on a loop; see\n"
+      "examples/retail_beacon.)\n",
+      static_cast<int>(100 * config.profile.inter_frame_loss_ratio));
+  return 0;
+}

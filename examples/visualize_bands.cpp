@@ -1,0 +1,76 @@
+// Visualize bands: renders what the simulated cameras actually capture
+// and writes viewable PPM images — the "color bars" of the paper's
+// Fig. 1(b), the vignetting of Fig. 8(a), and the band narrowing of
+// Fig. 3(c).
+//
+// Build & run:   ./build/examples/visualize_bands [output-directory]
+// Then open the .ppm files with any image viewer.
+
+#include <cstdio>
+#include <string>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/camera/ppm.hpp"
+#include "colorbars/core/link.hpp"
+#include "colorbars/tx/transmitter.hpp"
+#include "colorbars/util/rng.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+camera::Frame capture(csk::CskOrder order, double symbol_rate_hz,
+                      camera::SensorProfile profile, double vignette = -1.0) {
+  if (vignette >= 0.0) profile.vignette_strength = vignette;
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = order;
+  tx_config.symbol_rate_hz = symbol_rate_hz;
+  const tx::Transmitter transmitter(tx_config);
+  util::Xoshiro256 rng(99);
+  std::vector<int> symbols(3000);
+  for (auto& symbol : symbols) {
+    symbol = static_cast<int>(rng.below(static_cast<std::uint64_t>(
+        csk::symbol_count(order))));
+  }
+  const tx::Transmission transmission = transmitter.transmit_raw_symbols(symbols);
+  camera::RollingShutterCamera camera(profile, {}, 5150);
+  // Capture a frame in the middle of the data region.
+  return camera.capture_frame(transmission.trace, transmission.duration_s() * 0.6);
+}
+
+bool save(const camera::Frame& frame, const std::string& path, int row_factor) {
+  const camera::Frame small = camera::downscale_rows(frame, row_factor);
+  const bool ok = camera::write_ppm(small, path);
+  std::printf("  %-34s %4dx%-4d %s\n", path.c_str(), small.columns, small.rows,
+              ok ? "written" : "FAILED");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  std::printf("Writing captures to %s/\n", dir.c_str());
+
+  bool ok = true;
+  // The classic shot: 8-CSK color bars on a Nexus-class frame at 1 kHz.
+  ok &= save(capture(csk::CskOrder::kCsk8, 1000, camera::nexus5_profile()),
+             dir + "/bars_csk8_1khz.ppm", 4);
+  // Band narrowing at 4 kHz (Fig. 3c).
+  ok &= save(capture(csk::CskOrder::kCsk8, 4000, camera::nexus5_profile()),
+             dir + "/bars_csk8_4khz.ppm", 4);
+  // 32 colors (count the distinct hues).
+  ok &= save(capture(csk::CskOrder::kCsk32, 1000, camera::nexus5_profile()),
+             dir + "/bars_csk32_1khz.ppm", 4);
+  // Heavy vignetting (Fig. 8a): bright center, dark corners.
+  ok &= save(capture(csk::CskOrder::kCsk8, 1000, camera::nexus5_profile(), 0.6),
+             dir + "/bars_vignette.ppm", 4);
+  // The iPhone-class sensor (fewer, coarser scanlines).
+  ok &= save(capture(csk::CskOrder::kCsk8, 2000, camera::iphone5s_profile()),
+             dir + "/bars_iphone_2khz.ppm", 2);
+
+  std::printf("\nWhat to look for: distinct horizontal color bands; ~4x narrower\n"
+              "bands at 4 kHz; blurrier boundaries where exposure spans symbol\n"
+              "transitions; corner falloff in the vignetted capture.\n");
+  return ok ? 0 : 1;
+}

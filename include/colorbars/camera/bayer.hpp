@@ -1,0 +1,34 @@
+#pragma once
+
+// Bayer color-filter-array simulation (paper §6.1, Fig. 5a). Each
+// photodiode sees only one color channel through its filter; the ISP
+// reconstructs full RGB by demosaicing. Mosaic + demosaic is a real
+// source of inter-row color mixing (a demosaiced pixel borrows values
+// from neighbor scanlines), which matters at narrow band widths.
+
+#include <vector>
+
+#include "colorbars/camera/image.hpp"
+
+namespace colorbars::camera {
+
+/// Which channel a Bayer site at (row, column) samples, for the RGGB
+/// arrangement: even rows alternate R,G; odd rows alternate G,B.
+enum class BayerChannel { kRed, kGreen, kBlue };
+
+[[nodiscard]] constexpr BayerChannel bayer_channel(int row, int column) noexcept {
+  const bool even_row = (row % 2) == 0;
+  const bool even_col = (column % 2) == 0;
+  if (even_row) return even_col ? BayerChannel::kRed : BayerChannel::kGreen;
+  return even_col ? BayerChannel::kGreen : BayerChannel::kBlue;
+}
+
+/// Samples a full-RGB image through the RGGB mosaic: output(r,c) is the
+/// scalar response of the site's own channel.
+[[nodiscard]] std::vector<double> mosaic(const FloatImage& rgb);
+
+/// Bilinear demosaic of an RGGB mosaic back to full RGB.
+/// `rows`/`columns` must match the mosaic's dimensions.
+[[nodiscard]] FloatImage demosaic(const std::vector<double>& raw, int rows, int columns);
+
+}  // namespace colorbars::camera

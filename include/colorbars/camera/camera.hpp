@@ -1,0 +1,83 @@
+#pragma once
+
+// The rolling-shutter camera simulator. Integrates a tri-LED emission
+// trace through per-scanline exposure windows, applies the device's
+// color response, vignetting, Bayer mosaic, photon/read noise, bilinear
+// demosaic and sRGB encoding, and emits 8-bit frames separated by the
+// device's inter-frame gap — everything the ColorBars receiver has to
+// cope with (paper §2.1, §3.1, §6).
+
+#include <optional>
+#include <vector>
+
+#include "colorbars/camera/image.hpp"
+#include "colorbars/camera/profile.hpp"
+#include "colorbars/led/emission.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::camera {
+
+/// Manual exposure override (the paper sweeps these in Fig. 6b/6c; the
+/// evaluation otherwise leaves the camera on auto).
+struct ExposureSettings {
+  double exposure_s = 1.0 / 1000.0;
+  double iso = 100.0;
+};
+
+/// Scene description around the LED signal.
+struct SceneConfig {
+  /// Ambient light reaching the sensor, as XYZ radiance added to the LED
+  /// signal (daylight-ish chromaticity, low level for the paper's
+  /// close-range setup where the LED dominates the field of view).
+  double ambient_level = 0.005;
+  /// LED signal scale: 1.0 is the close-range (< 3 cm) setup where the
+  /// LED fills the field of view near sensor saturation reference.
+  double signal_scale = 1.0;
+};
+
+/// Rolling-shutter camera instance. Deterministic given its seed.
+class RollingShutterCamera {
+ public:
+  RollingShutterCamera(SensorProfile profile, SceneConfig scene = {},
+                       std::uint64_t noise_seed = 0x5eed);
+
+  [[nodiscard]] const SensorProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] const SceneConfig& scene() const noexcept { return scene_; }
+
+  /// Fixes exposure/ISO manually (disables auto exposure).
+  void set_manual_exposure(const ExposureSettings& settings) noexcept {
+    manual_exposure_ = settings;
+  }
+  /// Re-enables auto exposure.
+  void set_auto_exposure() noexcept { manual_exposure_.reset(); }
+
+  /// Auto-exposure decision for a given mean scene radiance (exposed for
+  /// tests and for the Fig. 6 sweeps).
+  [[nodiscard]] ExposureSettings auto_exposure(const led::Vec3& mean_radiance) const noexcept;
+
+  /// Captures a single frame whose first scanline reads out at
+  /// `start_time_s` into the trace.
+  [[nodiscard]] Frame capture_frame(const led::EmissionTrace& trace, double start_time_s,
+                                    int frame_index = 0);
+
+  /// Records video for the duration of the trace: frames every
+  /// 1/fps seconds with the inter-frame gap between them, starting at
+  /// `start_offset_s`.
+  [[nodiscard]] std::vector<Frame> capture_video(const led::EmissionTrace& trace,
+                                                 double start_offset_s = 0.0);
+
+  /// Vignetting gain at a pixel (1 at center, 1 - strength at corners).
+  [[nodiscard]] double vignette_gain(int row, int column) const noexcept;
+
+ private:
+  /// Linear sensor RGB for one scanline's exposure window, before noise.
+  [[nodiscard]] led::Vec3 expose_row(const led::EmissionTrace& trace, double read_time_s,
+                                     const ExposureSettings& settings) const noexcept;
+
+  SensorProfile profile_;
+  SceneConfig scene_;
+  std::optional<ExposureSettings> manual_exposure_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace colorbars::camera

@@ -1,0 +1,82 @@
+#pragma once
+
+// Frame containers produced by the simulated camera. The ISP output is
+// an 8-bit sRGB image like a phone video frame; intermediate stages use
+// a planar float image.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "colorbars/color/srgb.hpp"
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::camera {
+
+/// A row-major image of linear float RGB triples (sensor-internal).
+class FloatImage {
+ public:
+  FloatImage() = default;
+  FloatImage(int rows, int columns)
+      : rows_(rows), columns_(columns),
+        pixels_(checked_size(rows, columns)) {}
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int columns() const noexcept { return columns_; }
+
+  [[nodiscard]] util::Vec3& at(int row, int column) {
+    return pixels_[index(row, column)];
+  }
+  [[nodiscard]] const util::Vec3& at(int row, int column) const {
+    return pixels_[index(row, column)];
+  }
+
+ private:
+  [[nodiscard]] static std::size_t checked_size(int rows, int columns) {
+    if (rows <= 0 || columns <= 0) {
+      throw std::invalid_argument("FloatImage: dimensions must be positive");
+    }
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns);
+  }
+  [[nodiscard]] std::size_t index(int row, int column) const {
+    if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
+      throw std::out_of_range("FloatImage: pixel index out of range");
+    }
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(columns_) +
+           static_cast<std::size_t>(column);
+  }
+
+  int rows_ = 0;
+  int columns_ = 0;
+  std::vector<util::Vec3> pixels_;
+};
+
+/// An 8-bit sRGB frame as delivered by the camera ISP, plus capture
+/// metadata the receiver is allowed to know (its own camera's clock).
+struct Frame {
+  int rows = 0;
+  int columns = 0;
+  std::vector<color::Rgb8> pixels;  // row-major
+
+  /// Capture time of the first scanline, seconds from stream start.
+  double start_time_s = 0.0;
+  /// Time between consecutive scanline readouts, seconds.
+  double row_time_s = 0.0;
+  /// Exposure time used for this frame (auto-exposure result), seconds.
+  double exposure_s = 0.0;
+  /// ISO used for this frame (auto-exposure result).
+  double iso = 100.0;
+  /// Frame sequence number.
+  int frame_index = 0;
+
+  [[nodiscard]] const color::Rgb8& at(int row, int column) const {
+    return pixels[static_cast<std::size_t>(row) * static_cast<std::size_t>(columns) +
+                  static_cast<std::size_t>(column)];
+  }
+  [[nodiscard]] color::Rgb8& at(int row, int column) {
+    return pixels[static_cast<std::size_t>(row) * static_cast<std::size_t>(columns) +
+                  static_cast<std::size_t>(column)];
+  }
+};
+
+}  // namespace colorbars::camera

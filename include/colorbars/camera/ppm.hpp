@@ -1,0 +1,25 @@
+#pragma once
+
+// Frame export as binary PPM (P6) — the simplest portable image format,
+// viewable everywhere. Lets you *look* at what the simulated camera
+// captured: the color bars of Fig. 1(b), the vignetting of Fig. 8(a),
+// the band blur at high symbol rates.
+
+#include <string>
+
+#include "colorbars/camera/image.hpp"
+
+namespace colorbars::camera {
+
+/// Serializes a frame to binary PPM (P6) bytes.
+[[nodiscard]] std::string to_ppm(const Frame& frame);
+
+/// Writes a frame to a PPM file. Returns false on I/O failure.
+bool write_ppm(const Frame& frame, const std::string& path);
+
+/// Downscales a frame by integer factors (box filter) — the simulated
+/// sensors are tall and narrow (e.g. 2448x64), so a row-downscaled,
+/// column-stretched image views better.
+[[nodiscard]] Frame downscale_rows(const Frame& frame, int row_factor);
+
+}  // namespace colorbars::camera

@@ -1,0 +1,64 @@
+#pragma once
+
+// CIE 1931 colorimetry primitives. ColorBars designs its CSK
+// constellations in the CIE 1931 xy chromaticity plane (paper §2.2,
+// Fig. 1d), so chromaticity <-> tristimulus conversions are the
+// foundation of both the transmitter (symbol -> LED drive) and the
+// simulated camera (radiance -> pixel).
+
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::color {
+
+using util::Mat3;
+using util::Vec3;
+
+/// A point in the CIE 1931 chromaticity diagram.
+struct Chromaticity {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Chromaticity&, const Chromaticity&) = default;
+};
+
+/// Euclidean distance in the xy plane (the paper's "inter-symbol
+/// distance" that the constellation design maximizes).
+[[nodiscard]] double xy_distance(const Chromaticity& a, const Chromaticity& b) noexcept;
+
+/// CIE XYZ tristimulus value. Stored as a Vec3 alias for interop with the
+/// matrix transforms in util::Mat3.
+using XYZ = Vec3;
+
+/// CIE xyY: chromaticity plus luminance.
+struct xyY {
+  Chromaticity xy;
+  double Y = 0.0;
+};
+
+/// Converts tristimulus to chromaticity + luminance.
+/// An all-zero XYZ (pure black) maps to the D65 white chromaticity with
+/// Y = 0 so downstream code never divides by zero.
+[[nodiscard]] xyY xyz_to_xyy(const XYZ& xyz) noexcept;
+
+/// Converts chromaticity + luminance back to tristimulus.
+/// Precondition: c.y > 0 (every physically realizable light satisfies this).
+[[nodiscard]] XYZ xyy_to_xyz(const Chromaticity& c, double Y) noexcept;
+
+/// D65 standard illuminant white point (sRGB reference white).
+inline constexpr Chromaticity kD65{0.31271, 0.32902};
+
+/// Equal-energy white point E (the centroid-of-primaries white the
+/// 802.15.7 constellations are balanced around).
+inline constexpr Chromaticity kWhiteE{1.0 / 3.0, 1.0 / 3.0};
+
+/// D65 white tristimulus normalized to Y = 1.
+[[nodiscard]] XYZ d65_white_xyz() noexcept;
+
+/// Builds the 3x3 matrix converting linear RGB (in the gamut defined by
+/// the three primaries and white point) to XYZ, with white mapping to
+/// Y = 1. This is the standard primaries-matrix construction used both
+/// for sRGB and for the tri-LED's own gamut.
+[[nodiscard]] Mat3 rgb_to_xyz_matrix(const Chromaticity& red, const Chromaticity& green,
+                                     const Chromaticity& blue, const Chromaticity& white);
+
+}  // namespace colorbars::color

@@ -1,0 +1,84 @@
+#pragma once
+
+// Chromaticity gamut triangle: the set of colors a tri-LED can produce.
+// CSK constellation points live inside this triangle (paper Fig. 1d-f),
+// and converting a target chromaticity into R/G/B LED intensity shares is
+// exactly a barycentric-coordinate solve over its vertices (paper §2.2,
+// "PWM" paragraph).
+
+#include <array>
+
+#include "colorbars/color/cie.hpp"
+
+namespace colorbars::color {
+
+/// Barycentric weights over the (red, green, blue) vertices of a gamut
+/// triangle. For points inside the triangle all weights are in [0,1] and
+/// sum to 1; they are the relative luminance shares the three LEDs must
+/// contribute to render the target chromaticity.
+struct Barycentric {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+
+  friend constexpr bool operator==(const Barycentric&, const Barycentric&) = default;
+
+  [[nodiscard]] constexpr double sum() const noexcept { return r + g + b; }
+  [[nodiscard]] constexpr double min() const noexcept {
+    return r < g ? (r < b ? r : b) : (g < b ? g : b);
+  }
+};
+
+/// A triangle in the CIE xy plane with red/green/blue vertices.
+class GamutTriangle {
+ public:
+  /// Constructs from the three primary chromaticities.
+  /// Precondition: the vertices are not collinear (throws std::invalid_argument).
+  GamutTriangle(const Chromaticity& red, const Chromaticity& green, const Chromaticity& blue);
+
+  [[nodiscard]] const Chromaticity& red() const noexcept { return red_; }
+  [[nodiscard]] const Chromaticity& green() const noexcept { return green_; }
+  [[nodiscard]] const Chromaticity& blue() const noexcept { return blue_; }
+
+  /// The triangle centroid: equal drive of all three LEDs, i.e. the
+  /// chromaticity of the gamut's balanced "white" used for illumination
+  /// symbols.
+  [[nodiscard]] Chromaticity centroid() const noexcept;
+
+  /// Barycentric coordinates of `p` over (red, green, blue).
+  [[nodiscard]] Barycentric barycentric(const Chromaticity& p) const noexcept;
+
+  /// Inverse of barycentric(): the chromaticity at the given weights
+  /// (weights are normalized by their sum first; sum must be > 0).
+  [[nodiscard]] Chromaticity at(const Barycentric& w) const noexcept;
+
+  /// True if `p` lies inside or on the triangle (within `tolerance` in
+  /// barycentric units, to absorb floating-point edge cases).
+  [[nodiscard]] bool contains(const Chromaticity& p, double tolerance = 1e-9) const noexcept;
+
+  /// Signed double-area of the triangle (positive if counterclockwise).
+  [[nodiscard]] double signed_double_area() const noexcept;
+
+  /// Vertices in (red, green, blue) order.
+  [[nodiscard]] std::array<Chromaticity, 3> vertices() const noexcept {
+    return {red_, green_, blue_};
+  }
+
+ private:
+  Chromaticity red_;
+  Chromaticity green_;
+  Chromaticity blue_;
+  double inv_double_area_ = 0.0;
+};
+
+/// Typical high-brightness RGB tri-LED primaries (deep red, pure green,
+/// royal blue). These are the defaults for the simulated transmitter and
+/// give a gamut comparable to the 802.15.7 band-combination triangles.
+inline constexpr Chromaticity kLedRed{0.700, 0.295};
+inline constexpr Chromaticity kLedGreen{0.170, 0.700};
+inline constexpr Chromaticity kLedBlue{0.136, 0.040};
+
+/// Returns the default tri-LED gamut triangle.
+[[nodiscard]] const GamutTriangle& default_led_gamut();
+
+}  // namespace colorbars::color

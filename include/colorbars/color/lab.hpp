@@ -1,0 +1,67 @@
+#pragma once
+
+// CIELab color space and the ΔE color-difference metric. The ColorBars
+// receiver converts every frame to CIELab and drops the lightness channel
+// so that the non-uniform brightness across a band (vignetting, Fig. 8a)
+// does not perturb symbol matching; colors are then matched to the
+// calibration references by Euclidean distance in the (a,b) plane with
+// the ΔE ≈ 2.3 just-noticeable-difference threshold (paper §7 Step 3).
+
+#include "colorbars/color/cie.hpp"
+
+namespace colorbars::color {
+
+/// A CIELab color.
+struct Lab {
+  double L = 0.0;  ///< lightness, 0 (black) .. 100 (white)
+  double a = 0.0;  ///< green (-) .. red (+)
+  double b = 0.0;  ///< blue (-) .. yellow (+)
+
+  friend constexpr bool operator==(const Lab&, const Lab&) = default;
+};
+
+/// The chromatic part of a Lab color with lightness removed — the {a,b}
+/// pair the receiver uses to "distill the symbol color" (paper §7).
+struct ChromaAB {
+  double a = 0.0;
+  double b = 0.0;
+
+  friend constexpr bool operator==(const ChromaAB&, const ChromaAB&) = default;
+
+  ChromaAB& operator+=(const ChromaAB& o) noexcept {
+    a += o.a;
+    b += o.b;
+    return *this;
+  }
+  ChromaAB& operator/=(double s) noexcept {
+    a /= s;
+    b /= s;
+    return *this;
+  }
+};
+
+/// Converts XYZ (white-relative, D65 reference) to CIELab.
+[[nodiscard]] Lab xyz_to_lab(const XYZ& xyz) noexcept;
+
+/// Converts CIELab back to XYZ (D65 reference white).
+[[nodiscard]] XYZ lab_to_xyz(const Lab& lab) noexcept;
+
+/// ΔE (CIE76): Euclidean distance over all three Lab channels.
+[[nodiscard]] double delta_e(const Lab& p, const Lab& q) noexcept;
+
+/// ΔE restricted to the (a,b) chroma plane — the receiver's matching
+/// metric after lightness removal.
+[[nodiscard]] double delta_e_ab(const ChromaAB& p, const ChromaAB& q) noexcept;
+
+/// ΔE (CIE94, graphic-arts weights): perceptually more uniform than
+/// CIE76 — it discounts chroma differences between saturated colors.
+/// Asymmetric: `reference` supplies the weighting terms.
+[[nodiscard]] double delta_e_94(const Lab& reference, const Lab& sample) noexcept;
+
+/// Just-noticeable color difference threshold (paper §7, citing [15]).
+inline constexpr double kJndDeltaE = 2.3;
+
+/// Drops the lightness channel.
+[[nodiscard]] constexpr ChromaAB chroma_of(const Lab& lab) noexcept { return {lab.a, lab.b}; }
+
+}  // namespace colorbars::color

@@ -1,0 +1,57 @@
+#pragma once
+
+// sRGB color space: the encoding produced by the simulated camera ISP
+// (8-bit gamma-encoded frames, like a phone video pipeline) and consumed
+// by the ColorBars receiver before its CIELab conversion (paper §7 Step 1).
+
+#include <cstdint>
+
+#include "colorbars/color/cie.hpp"
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::color {
+
+/// sRGB primaries (IEC 61966-2-1).
+inline constexpr Chromaticity kSrgbRed{0.64, 0.33};
+inline constexpr Chromaticity kSrgbGreen{0.30, 0.60};
+inline constexpr Chromaticity kSrgbBlue{0.15, 0.06};
+
+/// Linear-RGB <-> XYZ matrices for the sRGB gamut (D65 white).
+[[nodiscard]] const Mat3& srgb_to_xyz_matrix() noexcept;
+[[nodiscard]] const Mat3& xyz_to_srgb_matrix() noexcept;
+
+/// Converts a linear sRGB triple (components in [0,1], but out-of-gamut
+/// values are passed through) to XYZ.
+[[nodiscard]] XYZ linear_srgb_to_xyz(const Vec3& rgb) noexcept;
+
+/// Converts XYZ to linear sRGB (may be out of [0,1] for out-of-gamut colors).
+[[nodiscard]] Vec3 xyz_to_linear_srgb(const XYZ& xyz) noexcept;
+
+/// sRGB opto-electronic transfer function (gamma encode), per channel.
+[[nodiscard]] double srgb_encode(double linear) noexcept;
+
+/// Inverse transfer function (gamma decode), per channel.
+[[nodiscard]] double srgb_decode(double encoded) noexcept;
+
+/// Gamma-encodes each channel of a linear RGB triple (clamping to [0,1]).
+[[nodiscard]] Vec3 srgb_encode(const Vec3& linear) noexcept;
+
+/// Gamma-decodes each channel of an encoded RGB triple.
+[[nodiscard]] Vec3 srgb_decode(const Vec3& encoded) noexcept;
+
+/// An 8-bit sRGB pixel as stored in camera frames.
+struct Rgb8 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend constexpr bool operator==(const Rgb8&, const Rgb8&) = default;
+};
+
+/// Quantizes an encoded [0,1] RGB triple to 8 bits (round-to-nearest).
+[[nodiscard]] Rgb8 to_rgb8(const Vec3& encoded) noexcept;
+
+/// Expands an 8-bit pixel back to an encoded [0,1] triple.
+[[nodiscard]] Vec3 from_rgb8(const Rgb8& pixel) noexcept;
+
+}  // namespace colorbars::color

@@ -1,0 +1,53 @@
+#pragma once
+
+// Umbrella header: the entire ColorBars public API.
+//
+// For faster builds include only what you use; the per-module headers
+// are listed in dependency order below.
+
+#include "colorbars/util/bitio.hpp"     // bit-level serialization
+#include "colorbars/util/rng.hpp"       // deterministic randomness
+#include "colorbars/util/vec3.hpp"      // small linear algebra
+
+#include "colorbars/color/cie.hpp"      // CIE 1931 colorimetry
+#include "colorbars/color/srgb.hpp"     // sRGB encode/decode
+#include "colorbars/color/lab.hpp"      // CIELab + ΔE metrics
+#include "colorbars/color/gamut.hpp"    // chromaticity gamut triangles
+
+#include "colorbars/gf/gf256.hpp"       // GF(2^8) arithmetic
+#include "colorbars/gf/poly.hpp"        // polynomials over GF(256)
+#include "colorbars/rs/reed_solomon.hpp"  // RS codec (errors + erasures)
+
+#include "colorbars/csk/constellation.hpp"  // CSK constellations
+#include "colorbars/csk/mapper.hpp"         // bit labeling
+#include "colorbars/csk/modulation.hpp"     // symbol -> LED drive
+
+#include "colorbars/led/emission.hpp"   // radiance waveforms
+#include "colorbars/led/tri_led.hpp"    // tri-LED transmitter hardware
+
+#include "colorbars/protocol/symbols.hpp"       // channel alphabet
+#include "colorbars/protocol/packet.hpp"        // wire format
+#include "colorbars/protocol/illumination.hpp"  // white scheduling
+#include "colorbars/protocol/packetizer.hpp"    // packet construction
+
+#include "colorbars/flicker/bloch.hpp"        // flicker perception model
+#include "colorbars/flicker/requirement.hpp"  // Fig. 3b solver
+
+#include "colorbars/camera/image.hpp"    // frame containers
+#include "colorbars/camera/profile.hpp"  // device models
+#include "colorbars/camera/bayer.hpp"    // CFA mosaic/demosaic
+#include "colorbars/camera/camera.hpp"   // rolling-shutter simulator
+#include "colorbars/camera/ppm.hpp"      // frame export
+
+#include "colorbars/rx/band_extractor.hpp"     // frame -> slot observations
+#include "colorbars/rx/calibration_store.hpp"  // references + classifier
+#include "colorbars/rx/receiver.hpp"           // batch receiver
+#include "colorbars/rx/streaming.hpp"          // frame-at-a-time receiver
+#include "colorbars/rx/rate_estimator.hpp"     // blind symbol-rate recovery
+
+#include "colorbars/tx/transmitter.hpp"  // transmitter pipeline
+
+#include "colorbars/baseline/ook.hpp"  // OOK baseline
+#include "colorbars/baseline/fsk.hpp"  // FSK baseline
+
+#include "colorbars/core/link.hpp"  // end-to-end link simulator

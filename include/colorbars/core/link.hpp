@@ -1,0 +1,126 @@
+#pragma once
+
+// End-to-end link simulation: transmitter -> tri-LED -> rolling-shutter
+// camera -> receiver, with the metrics the paper evaluates in §8
+// (symbol error rate, throughput, goodput, inter-frame loss ratio).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/rx/receiver.hpp"
+#include "colorbars/tx/transmitter.hpp"
+
+namespace colorbars::core {
+
+/// Full link configuration.
+struct LinkConfig {
+  csk::CskOrder order = csk::CskOrder::kCsk8;
+  double symbol_rate_hz = 2000.0;
+  /// phi: fraction of payload slots carrying data. The paper derives the
+  /// flicker-free minimum white fraction from Fig. 3b; 0.8 matches its
+  /// §5 example (20% illumination symbols).
+  double illumination_ratio = 0.8;
+  camera::SensorProfile profile = camera::nexus5_profile();
+  camera::SceneConfig scene{};
+  double calibration_rate_hz = 5.0;
+  /// Receiver matching/classification tuning (ablation knob: matching
+  /// space, thresholds).
+  rx::ClassifierConfig classifier{};
+  /// Ablation knobs (see TransmitterConfig / ReceiverConfig).
+  bool enable_dephasing_pad = true;
+  bool use_erasure_decoding = true;
+  std::uint64_t seed = 0xc01055eedULL;
+
+  /// Builds matching transmitter / receiver configurations, deriving the
+  /// RS code from the profile's loss ratio per the paper's §5 formulas.
+  [[nodiscard]] tx::TransmitterConfig transmitter_config() const;
+  [[nodiscard]] rx::ReceiverConfig receiver_config() const;
+};
+
+/// Result of one end-to-end payload transfer.
+struct LinkRunResult {
+  rx::ReceiverReport report;
+  /// Bytes the application handed to the transmitter.
+  std::size_t payload_bytes = 0;
+  /// Bytes correctly recovered (prefix-matched against ground truth,
+  /// packet by packet).
+  std::size_t recovered_bytes = 0;
+  /// Wall-clock duration of the transmission, seconds.
+  double air_time_s = 0.0;
+
+  /// Application goodput in bits per second.
+  [[nodiscard]] double goodput_bps() const noexcept {
+    return air_time_s > 0.0 ? 8.0 * static_cast<double>(recovered_bytes) / air_time_s : 0.0;
+  }
+};
+
+/// Result of a raw-symbol SER measurement.
+struct SerResult {
+  long long symbols_sent = 0;
+  long long symbols_observed = 0;
+  long long symbol_errors = 0;
+  double inter_frame_loss_ratio = 0.0;  ///< measured 1 - observed/sent
+
+  [[nodiscard]] double ser() const noexcept {
+    return symbols_observed > 0
+               ? static_cast<double>(symbol_errors) / static_cast<double>(symbols_observed)
+               : 0.0;
+  }
+};
+
+/// Result of a raw-throughput measurement (paper Fig. 10: data symbols
+/// observed per second times bits per symbol, no error correction).
+struct ThroughputResult {
+  long long data_slots_sent = 0;
+  long long data_slots_observed = 0;
+  double air_time_s = 0.0;
+  int bits_per_symbol = 0;
+
+  [[nodiscard]] double throughput_bps() const noexcept {
+    return air_time_s > 0.0 ? static_cast<double>(data_slots_observed * bits_per_symbol) /
+                                  air_time_s
+                            : 0.0;
+  }
+};
+
+/// Derives the RS(n, k) code for a link so that one whole packet
+/// (delimiter + flag + size field + white-interleaved payload) fits into
+/// one frame-plus-gap period, with parity sized per the paper's §5 rule
+/// (2t = 2 * phi * C * Ls bits).
+[[nodiscard]] rs::CodeParameters derive_link_code(csk::CskOrder order,
+                                                  double symbol_rate_hz,
+                                                  double frame_rate_hz, double loss_ratio,
+                                                  double illumination_ratio);
+
+/// Orchestrates one transmitter/camera/receiver trio.
+class LinkSimulator {
+ public:
+  explicit LinkSimulator(LinkConfig config);
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+  /// Transfers `payload` end to end and reports per-packet recovery.
+  [[nodiscard]] LinkRunResult run_payload(std::span<const std::uint8_t> payload);
+
+  /// Measures the raw symbol error rate over `symbol_count` random data
+  /// symbols (after a calibration preamble), as in Fig. 9. Only observed
+  /// slots count — lost slots feed the loss ratio, not the SER.
+  [[nodiscard]] SerResult run_ser(int symbol_count);
+
+  /// Measures raw throughput over `duration_s` of random data symbols
+  /// with the illumination schedule applied (Fig. 10): observed data
+  /// slots per second times bits per symbol.
+  [[nodiscard]] ThroughputResult run_throughput(double duration_s);
+
+  /// Measures goodput (Fig. 11): RS-recovered payload bits per second
+  /// over a stream of `duration_s` seconds of back-to-back data packets.
+  [[nodiscard]] LinkRunResult run_goodput(double duration_s);
+
+ private:
+  LinkConfig config_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace colorbars::core

@@ -1,0 +1,73 @@
+#pragma once
+
+// Bit <-> symbol mapping for CSK. The transmitter splits the encoded
+// bitstream into C-bit groups and maps each group to a constellation
+// point; the mapper also assigns the bit labels. A Gray-style labeling
+// (neighboring constellation points differ in few bits) keeps the bit
+// error rate low when a symbol is misdetected as its nearest neighbor,
+// which is the dominant error mode under inter-symbol interference.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "colorbars/csk/constellation.hpp"
+
+namespace colorbars::csk {
+
+/// Maps between bit labels and constellation symbol indices.
+class SymbolMapper {
+ public:
+  /// Builds a labeling for `constellation`. The labeling is a greedy
+  /// neighbor-aware Gray assignment: symbols are visited in a
+  /// nearest-neighbor chain and labels are assigned in binary-reflected
+  /// Gray-code order along the chain, so spatial neighbors get labels at
+  /// small Hamming distance.
+  explicit SymbolMapper(const Constellation& constellation);
+
+  /// Number of bits per symbol.
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] int symbol_count() const noexcept {
+    return static_cast<int>(label_of_symbol_.size());
+  }
+
+  /// Bit label carried by constellation point `symbol_index`.
+  [[nodiscard]] std::uint32_t label(int symbol_index) const {
+    return label_of_symbol_.at(static_cast<std::size_t>(symbol_index));
+  }
+
+  /// Constellation point index carrying bit label `label`.
+  [[nodiscard]] int symbol(std::uint32_t label) const {
+    return symbol_of_label_.at(static_cast<std::size_t>(label));
+  }
+
+  /// Maps a byte stream to a sequence of constellation indices
+  /// (zero-padding the trailing partial group).
+  [[nodiscard]] std::vector<int> map_bytes(std::span<const std::uint8_t> bytes) const;
+
+  /// Inverse of map_bytes: converts constellation indices back into
+  /// `byte_count` bytes.
+  [[nodiscard]] std::vector<std::uint8_t> unmap_symbols(std::span<const int> symbols,
+                                                        std::size_t byte_count) const;
+
+  /// Mean Hamming distance between the labels of each symbol and its
+  /// spatially nearest neighbor (quality metric; ~1 for a good Gray map).
+  [[nodiscard]] double mean_neighbor_hamming(const Constellation& constellation) const;
+
+ private:
+  int bits_;
+  std::vector<std::uint32_t> label_of_symbol_;
+  std::vector<int> symbol_of_label_;
+};
+
+/// Binary-reflected Gray code of `n`.
+[[nodiscard]] constexpr std::uint32_t gray_code(std::uint32_t n) noexcept {
+  return n ^ (n >> 1);
+}
+
+/// Hamming distance between two labels.
+[[nodiscard]] constexpr int hamming(std::uint32_t a, std::uint32_t b) noexcept {
+  return __builtin_popcount(a ^ b);
+}
+
+}  // namespace colorbars::csk

@@ -1,0 +1,47 @@
+#pragma once
+
+// Symbol -> LED drive conversion. A CSK symbol is a target chromaticity;
+// the tri-LED renders it by driving its red, green and blue emitters with
+// PWM duty cycles proportional to the symbol's barycentric weights over
+// the LED gamut (paper §2.2, "Pulse Width Modulation").
+
+#include "colorbars/color/gamut.hpp"
+#include "colorbars/csk/constellation.hpp"
+
+namespace colorbars::csk {
+
+/// Relative PWM duty cycles (each in [0,1]) for the three LED emitters.
+struct LedDrive {
+  double red = 0.0;
+  double green = 0.0;
+  double blue = 0.0;
+
+  friend constexpr bool operator==(const LedDrive&, const LedDrive&) = default;
+
+  [[nodiscard]] constexpr double total() const noexcept { return red + green + blue; }
+};
+
+/// Converts a target chromaticity inside `gamut` into LED duty cycles.
+///
+/// The duty cycles are the barycentric weights scaled so that total
+/// luminous output is constant across symbols (sum of weights = 1 by
+/// construction, so each symbol emits the same luminance — a requirement
+/// for flicker-free operation, since varying brightness would itself be
+/// a visible flicker).
+[[nodiscard]] LedDrive drive_for(const color::GamutTriangle& gamut,
+                                 const color::Chromaticity& target);
+
+/// Drive for the gamut's balanced white (equal weights).
+[[nodiscard]] constexpr LedDrive white_drive() noexcept {
+  return {1.0 / 3, 1.0 / 3, 1.0 / 3};
+}
+
+/// Drive with every emitter off (the packet-delimiter OFF symbol).
+[[nodiscard]] constexpr LedDrive off_drive() noexcept { return {0.0, 0.0, 0.0}; }
+
+/// Chromaticity actually produced by a drive (inverse of drive_for).
+/// Precondition: drive.total() > 0.
+[[nodiscard]] color::Chromaticity chromaticity_of(const color::GamutTriangle& gamut,
+                                                  const LedDrive& drive);
+
+}  // namespace colorbars::csk

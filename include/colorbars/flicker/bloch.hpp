@@ -1,0 +1,78 @@
+#pragma once
+
+// Human flicker-perception model (paper §4). The eye temporally sums
+// incident light over a "critical duration" (Bloch's law, Eq. 1-2 of the
+// paper); the perceived color is the mean chromaticity over that window.
+// A color flicker is perceptible when some window's mean color deviates
+// from the illumination white by more than a just-noticeable difference.
+//
+// This module is the software stand-in for the paper's 10-volunteer
+// study: it turns an emission trace into a "did a human see color
+// flicker?" verdict, and solves for the minimum white-symbol percentage
+// that suppresses flicker at each symbol frequency (Fig. 3b).
+
+#include "colorbars/color/gamut.hpp"
+#include "colorbars/color/lab.hpp"
+#include "colorbars/led/emission.hpp"
+
+namespace colorbars::flicker {
+
+/// Observer parameters.
+struct ObserverConfig {
+  /// Critical duration of chromatic temporal summation, seconds.
+  /// Chromatic integration is substantially longer than the ~100 ms
+  /// luminance Bloch time — the chromatic flicker-fusion rate is only
+  /// ~10-25 Hz (paper refs. [12, 13]).
+  double critical_duration_s = 0.25;
+  /// Window step when scanning a trace, as a fraction of the critical
+  /// duration. Smaller = finer scan.
+  double scan_step_fraction = 0.1;
+  /// Perceptibility threshold on ΔE between the windowed mean color and
+  /// the reference. The static side-by-side JND is ΔE ≈ 2.3, but
+  /// discriminating *temporally separated* stimuli is several times
+  /// harder — a transient chromatic wobble reads as "flicker" only around
+  /// 4-5 static JNDs. Calibrated so the white-requirement curve spans the
+  /// range of the paper's volunteer study (Fig. 3b).
+  double delta_e_threshold = 7.0;
+};
+
+/// Result of scanning one emission trace.
+struct FlickerReport {
+  double max_delta_e = 0.0;    ///< worst window deviation from white
+  double mean_delta_e = 0.0;   ///< average deviation across windows
+  bool perceptible = false;    ///< max_delta_e exceeded the threshold
+  int windows_scanned = 0;
+};
+
+/// Bloch's-law observer: slides a critical-duration window over the
+/// trace and reports the worst-case perceived color deviation from the
+/// reference white (the chromaticity perceived when data+white symbols
+/// average out perfectly).
+class BlochObserver {
+ public:
+  explicit BlochObserver(ObserverConfig config = {});
+
+  [[nodiscard]] const ObserverConfig& config() const noexcept { return config_; }
+
+  /// Perceived color of a window: the Lab color of the mean radiance
+  /// over [t0, t0 + critical_duration].
+  [[nodiscard]] color::Lab perceived(const led::EmissionTrace& trace, double t0) const;
+
+  /// Scans the whole trace against `reference_white` (the Lab color of
+  /// the LED's balanced white at the trace's brightness).
+  [[nodiscard]] FlickerReport scan(const led::EmissionTrace& trace,
+                                   const color::Lab& reference_white) const;
+
+ private:
+  ObserverConfig config_;
+};
+
+/// Converts a mean emitted radiance (CIE XYZ, as carried by the emission
+/// trace) into the Lab color the eye perceives. The eye is modeled as
+/// adapted to the luminaire's balanced-white brightness, so the XYZ is
+/// scaled by `adaptation_gain` before the Lab transform. Pure darkness
+/// maps to Lab black.
+[[nodiscard]] color::Lab radiance_to_lab(const led::Vec3& xyz,
+                                         double adaptation_gain = 2.5);
+
+}  // namespace colorbars::flicker

@@ -1,0 +1,51 @@
+#pragma once
+
+// Solver for the minimum white-light percentage that suppresses color
+// flicker at a given symbol frequency — the software reproduction of the
+// paper's volunteer study (Fig. 3b). For each (frequency, white %)
+// candidate it synthesizes a long random-data symbol stream with whites
+// inserted on the real transmit schedule and asks the Bloch observer
+// whether any critical-duration window drifts perceptibly off white.
+
+#include <vector>
+
+#include "colorbars/csk/constellation.hpp"
+#include "colorbars/flicker/bloch.hpp"
+#include "colorbars/led/tri_led.hpp"
+
+namespace colorbars::flicker {
+
+/// One point of the Fig. 3b curve.
+struct WhiteRequirement {
+  double symbol_rate_hz = 0.0;
+  double min_white_fraction = 0.0;  ///< 1 - phi; 0 means no whites needed
+  double max_delta_e_at_min = 0.0;  ///< residual deviation at the chosen fraction
+};
+
+/// Parameters of the requirement sweep.
+struct RequirementConfig {
+  ObserverConfig observer{};
+  /// Length of the synthesized stream in seconds (longer = tighter
+  /// worst-case estimate).
+  double stream_duration_s = 2.0;
+  /// Granularity of the white-fraction search (Fig. 3b used 10% steps).
+  double fraction_step = 0.05;
+  /// RNG seed for the random data symbols.
+  std::uint64_t seed = 0x1a2b3c4dULL;
+};
+
+/// Finds the minimum white fraction in {0, step, 2*step, ...} such that
+/// the Bloch observer reports no perceptible flicker for a random symbol
+/// stream at `symbol_rate_hz`. Returns fraction 1.0 if even all-white
+/// margins fail (cannot happen in practice).
+[[nodiscard]] WhiteRequirement min_white_fraction(const csk::Constellation& constellation,
+                                                  const led::TriLed& led,
+                                                  double symbol_rate_hz,
+                                                  const RequirementConfig& config = {});
+
+/// Full sweep over symbol rates (the Fig. 3b x-axis).
+[[nodiscard]] std::vector<WhiteRequirement> white_requirement_curve(
+    const csk::Constellation& constellation, const led::TriLed& led,
+    const std::vector<double>& symbol_rates_hz, const RequirementConfig& config = {});
+
+}  // namespace colorbars::flicker

@@ -1,0 +1,68 @@
+#pragma once
+
+// GF(2^8) finite-field arithmetic with the conventional primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator alpha = 2.
+// This is the field underneath the Reed-Solomon codec that ColorBars uses
+// to recover symbols lost in the camera's inter-frame gap (paper §5).
+//
+// Multiplication and division go through log/antilog tables built once at
+// startup; all operations are branch-light and allocation-free.
+
+#include <array>
+#include <cstdint>
+
+namespace colorbars::gf {
+
+/// A GF(256) field element. Thin value wrapper so field arithmetic can't
+/// be accidentally mixed with integer arithmetic.
+class GF256 {
+ public:
+  constexpr GF256() = default;
+  constexpr explicit GF256(std::uint8_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint8_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return value_ == 0; }
+
+  friend constexpr bool operator==(GF256, GF256) = default;
+
+  /// Addition and subtraction are both XOR in characteristic 2.
+  friend constexpr GF256 operator+(GF256 a, GF256 b) noexcept {
+    return GF256(static_cast<std::uint8_t>(a.value_ ^ b.value_));
+  }
+  friend constexpr GF256 operator-(GF256 a, GF256 b) noexcept { return a + b; }
+
+  friend GF256 operator*(GF256 a, GF256 b) noexcept;
+
+  /// Division. Precondition: b != 0.
+  friend GF256 operator/(GF256 a, GF256 b) noexcept;
+
+  GF256& operator+=(GF256 o) noexcept { return *this = *this + o; }
+  GF256& operator-=(GF256 o) noexcept { return *this = *this - o; }
+  GF256& operator*=(GF256 o) noexcept { return *this = *this * o; }
+  GF256& operator/=(GF256 o) noexcept { return *this = *this / o; }
+
+  /// Multiplicative inverse. Precondition: *this != 0.
+  [[nodiscard]] GF256 inverse() const noexcept;
+
+  /// Raises this element to an integer power (0^0 == 1 by convention).
+  [[nodiscard]] GF256 pow(int exponent) const noexcept;
+
+ private:
+  std::uint8_t value_ = 0;
+};
+
+inline constexpr GF256 kZero{0};
+inline constexpr GF256 kOne{1};
+
+/// alpha^n for the generator alpha = 2 (n may be any integer; it is
+/// reduced modulo 255).
+[[nodiscard]] GF256 alpha_pow(int n) noexcept;
+
+/// Discrete log base alpha. Precondition: v != 0. Returns a value in [0, 255).
+[[nodiscard]] int alpha_log(GF256 v) noexcept;
+
+/// The primitive polynomial used for table construction (for reference /
+/// tests).
+inline constexpr unsigned kPrimitivePoly = 0x11D;
+
+}  // namespace colorbars::gf

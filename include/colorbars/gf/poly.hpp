@@ -1,0 +1,78 @@
+#pragma once
+
+// Polynomials over GF(256), stored lowest-degree-first. These implement
+// the algebra needed by the Reed-Solomon encoder (generator-polynomial
+// division) and decoder (syndrome, error-locator and evaluator
+// polynomials, formal derivative for Forney's algorithm).
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "colorbars/gf/gf256.hpp"
+
+namespace colorbars::gf {
+
+/// Polynomial over GF(256); coefficient i multiplies x^i.
+/// The zero polynomial is represented by an empty coefficient vector.
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<GF256> coefficients) noexcept;
+  Poly(std::initializer_list<GF256> coefficients);
+
+  /// Monomial c * x^degree.
+  [[nodiscard]] static Poly monomial(GF256 c, std::size_t degree);
+
+  /// Degree of the polynomial; the zero polynomial reports degree -1.
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(coeffs_.size()) - 1;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept { return coeffs_.empty(); }
+
+  /// Coefficient of x^i (zero beyond the stored degree).
+  [[nodiscard]] GF256 coeff(std::size_t i) const noexcept {
+    return i < coeffs_.size() ? coeffs_[i] : kZero;
+  }
+
+  /// Leading (highest-degree) coefficient; kZero for the zero polynomial.
+  [[nodiscard]] GF256 leading() const noexcept {
+    return coeffs_.empty() ? kZero : coeffs_.back();
+  }
+
+  [[nodiscard]] const std::vector<GF256>& coefficients() const noexcept { return coeffs_; }
+
+  /// Evaluates at `x` via Horner's method.
+  [[nodiscard]] GF256 eval(GF256 x) const noexcept;
+
+  /// Formal derivative: in characteristic 2 the even-power terms vanish.
+  [[nodiscard]] Poly derivative() const;
+
+  /// Scales every coefficient by `s`.
+  [[nodiscard]] Poly scaled(GF256 s) const;
+
+  /// Multiplies by x^n (shifts coefficients up).
+  [[nodiscard]] Poly shifted(std::size_t n) const;
+
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator*(const Poly& a, const Poly& b);
+  friend bool operator==(const Poly& a, const Poly& b) noexcept {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+  /// Polynomial division: returns {quotient, remainder}.
+  /// Precondition: divisor is not the zero polynomial.
+  [[nodiscard]] static std::pair<Poly, Poly> divmod(const Poly& dividend, const Poly& divisor);
+
+ private:
+  void trim() noexcept;
+
+  std::vector<GF256> coeffs_;
+};
+
+/// Product (x - alpha^first) (x - alpha^(first+1)) ... over `count` roots:
+/// the Reed-Solomon generator polynomial for `count` parity symbols.
+[[nodiscard]] Poly rs_generator_poly(std::size_t count, int first_root = 0);
+
+}  // namespace colorbars::gf

@@ -1,0 +1,64 @@
+#pragma once
+
+// Time-varying radiance emitted by the tri-LED: the "wire format" between
+// the simulated transmitter hardware and the simulated camera. The trace
+// is piecewise-constant (one segment per channel symbol), which is exact
+// for PWM drives observed through any integrator much slower than the
+// PWM carrier — true for both the human eye and a camera scanline, since
+// PWM carriers run at tens of kHz while symbols last >= 0.2 ms.
+
+#include <cstddef>
+#include <vector>
+
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::led {
+
+using util::Vec3;
+
+/// One constant-radiance segment of the emission.
+struct EmissionSegment {
+  double duration_s = 0.0;  ///< segment length in seconds
+  Vec3 rgb;                 ///< linear radiance of the R/G/B emitters, each in [0,1]
+};
+
+/// A piecewise-constant emission waveform with O(log n) time lookup and
+/// O(1) amortized sequential integration.
+class EmissionTrace {
+ public:
+  EmissionTrace() = default;
+
+  /// Appends a segment. Zero/negative durations are ignored.
+  void append(double duration_s, const Vec3& rgb);
+
+  /// Appends every segment of another trace.
+  void append(const EmissionTrace& other);
+
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] const std::vector<EmissionSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Total duration in seconds.
+  [[nodiscard]] double duration() const noexcept { return total_duration_; }
+
+  /// Instantaneous radiance at time `t` (clamped to the trace extent;
+  /// an empty trace returns black).
+  [[nodiscard]] Vec3 sample(double t) const noexcept;
+
+  /// Mean radiance over the window [t0, t1] (exact integral of the
+  /// piecewise-constant waveform divided by the window length). Windows
+  /// extending beyond the trace integrate darkness there, matching an
+  /// LED that is off outside the transmission.
+  [[nodiscard]] Vec3 average(double t0, double t1) const noexcept;
+
+ private:
+  /// Index of the segment containing time `t` via binary search.
+  [[nodiscard]] std::size_t segment_at(double t) const noexcept;
+
+  std::vector<EmissionSegment> segments_;
+  std::vector<double> start_times_;  // start time of each segment
+  double total_duration_ = 0.0;
+};
+
+}  // namespace colorbars::led

@@ -1,0 +1,64 @@
+#pragma once
+
+// The simulated tri-LED transmitter hardware: three PWM-driven emitters
+// (red, green, blue) with a gamut, a luminous output, and a maximum
+// symbol-change frequency (the paper's BeagleBone Black tops out below
+// 4500 Hz). Converts sequences of per-symbol drives into an
+// EmissionTrace the camera simulator can integrate.
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "colorbars/color/gamut.hpp"
+#include "colorbars/csk/modulation.hpp"
+#include "colorbars/led/emission.hpp"
+
+namespace colorbars::led {
+
+/// Static description of the transmitter hardware.
+struct TriLedConfig {
+  color::GamutTriangle gamut = color::default_led_gamut();
+  /// Peak combined radiance when all three emitters are fully on, as a
+  /// fraction of the camera's saturation reference (dimensionless; the
+  /// camera's exposure model consumes this).
+  double peak_radiance = 1.0;
+  /// Maximum supported symbol-change frequency in Hz (BeagleBone-like
+  /// default per paper §8).
+  double max_symbol_rate_hz = 4500.0;
+};
+
+/// PWM-driven tri-LED transmitter front end.
+class TriLed {
+ public:
+  explicit TriLed(TriLedConfig config = {}) : config_(std::move(config)) {
+    if (config_.peak_radiance <= 0.0 || config_.max_symbol_rate_hz <= 0.0) {
+      throw std::invalid_argument("TriLed: radiance and symbol rate must be positive");
+    }
+  }
+
+  [[nodiscard]] const TriLedConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const color::GamutTriangle& gamut() const noexcept { return config_.gamut; }
+
+  /// True if the hardware can switch symbols at `rate_hz`.
+  [[nodiscard]] bool supports_rate(double rate_hz) const noexcept {
+    return rate_hz > 0.0 && rate_hz <= config_.max_symbol_rate_hz;
+  }
+
+  /// Instantaneous emitted radiance for a drive, as a CIE XYZ triple.
+  /// Duty cycles are tristimulus-sum shares: every fully-driven symbol
+  /// (total duty == 1) emits the same total power, and the emitted
+  /// chromaticity is exactly the barycentric mix of the primaries.
+  [[nodiscard]] Vec3 radiance(const csk::LedDrive& drive) const noexcept;
+
+  /// Renders a sequence of drives, one per symbol, at `symbol_rate_hz`
+  /// into an emission trace. Throws std::invalid_argument if the rate
+  /// exceeds the hardware limit.
+  [[nodiscard]] EmissionTrace emit(std::span<const csk::LedDrive> drives,
+                                   double symbol_rate_hz) const;
+
+ private:
+  TriLedConfig config_;
+};
+
+}  // namespace colorbars::led

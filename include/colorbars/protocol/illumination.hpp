@@ -1,0 +1,57 @@
+#pragma once
+
+// Illumination-symbol scheduling (paper §4). White symbols are inserted
+// among the data symbols at a deterministic cadence so the
+// eye-perceived average color stays white; because the schedule is
+// deterministic and known to the receiver, white symbols are stripped
+// positionally, which also works for 4-CSK where the centroid data
+// symbol is itself white-colored.
+//
+// The illumination ratio phi is the fraction of payload slots that carry
+// data (paper §5 notation): phi = data / (data + white). The required
+// phi for a flicker-free link at a given symbol frequency comes from the
+// flicker module (reproducing Fig. 3b).
+
+#include <span>
+#include <vector>
+
+#include "colorbars/protocol/symbols.hpp"
+
+namespace colorbars::protocol {
+
+/// Deterministic white-insertion schedule for a given illumination ratio.
+class IlluminationSchedule {
+ public:
+  /// `data_ratio` is phi in (0, 1]: the fraction of slots carrying data.
+  /// Throws std::invalid_argument outside that range.
+  explicit IlluminationSchedule(double data_ratio);
+
+  [[nodiscard]] double data_ratio() const noexcept { return data_ratio_; }
+
+  /// True if slot `slot_index` (0-based, within the payload) carries a
+  /// white illumination symbol. The schedule spreads white slots evenly
+  /// using an error-diffusion (Bresenham) rule, so whites are periodic
+  /// rather than bunched — maximizing their flicker-suppression effect.
+  [[nodiscard]] bool is_white_slot(int slot_index) const noexcept;
+
+  /// Total slots needed to carry `data_count` data symbols.
+  [[nodiscard]] int slots_for_data(int data_count) const noexcept;
+
+  /// Number of data symbols carried by the first `slot_count` slots.
+  [[nodiscard]] int data_in_slots(int slot_count) const noexcept;
+
+  /// Interleaves white symbols into `data_symbols` per the schedule.
+  [[nodiscard]] std::vector<ChannelSymbol> insert_white(
+      std::span<const ChannelSymbol> data_symbols) const;
+
+  /// Removes schedule-positioned white slots from a received payload.
+  /// Symbols in white slots are dropped regardless of their detected
+  /// color (the schedule, not the color, is authoritative).
+  [[nodiscard]] std::vector<ChannelSymbol> strip_white(
+      std::span<const ChannelSymbol> payload_slots) const;
+
+ private:
+  double data_ratio_;
+};
+
+}  // namespace colorbars::protocol

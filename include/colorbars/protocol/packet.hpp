@@ -1,0 +1,78 @@
+#pragma once
+
+// Packet wire format (paper §5 "Packetization" and Fig. 4):
+//
+//   [delimiter "owo"] [flag] [size field]* [payload with white symbols]
+//
+//   - delimiter: OFF WHITE OFF, prepended to every packet
+//   - data-packet flag: OFF WHITE OFF WHITE OFF ("owowo")
+//   - calibration-packet flag: OFF WHITE OFF WHITE OFF WHITE OFF ("owowowo")
+//   - size field (data packets only): the number of payload *data*
+//     symbols, encoded in data symbols. The paper uses 3 data symbols;
+//     3 symbols only cover sizes up to order^3, which is insufficient for
+//     the low CSK orders at 4 kHz, so we generalize to
+//     ceil(12 / bits_per_symbol) symbols (12-bit size, max 4095) — this
+//     equals 3 symbols for 16/32-CSK, matching the paper exactly.
+//   - payload: RS-coded data symbols with WHITE illumination symbols
+//     interleaved on a deterministic schedule both sides know.
+//
+// A calibration packet carries no size field; its payload is every
+// constellation point, in index order (paper §6, "Calibration Packet").
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "colorbars/csk/constellation.hpp"
+#include "colorbars/protocol/symbols.hpp"
+
+namespace colorbars::protocol {
+
+/// Size-field width in bits (max encodable payload symbol count 4095).
+inline constexpr int kSizeFieldBits = 12;
+
+/// The inter-packet delimiter: OFF WHITE OFF.
+[[nodiscard]] const std::vector<ChannelSymbol>& delimiter_sequence();
+
+/// The data-packet flag: OFF WHITE OFF WHITE OFF.
+[[nodiscard]] const std::vector<ChannelSymbol>& data_flag_sequence();
+
+/// The calibration-packet flag: OFF WHITE OFF WHITE OFF WHITE OFF.
+[[nodiscard]] const std::vector<ChannelSymbol>& calibration_flag_sequence();
+
+/// Flag of a *reversed* calibration packet (an extension to the paper's
+/// format): OFF WHITE OFF WHITE OFF WHITE OFF WHITE OFF. A calibration
+/// packet can be longer than the camera's gap-free readout window (e.g.
+/// CSK-16/32 at 1 kHz on the iPhone 5S profile), in which case only the
+/// head of the packet is ever received together with its flag; packets
+/// carrying the colors in descending order let the receiver cover the
+/// tail of the color list too.
+[[nodiscard]] const std::vector<ChannelSymbol>& reversed_calibration_flag_sequence();
+
+/// Flag of a *rotated* calibration packet (second extension): OFF WHITE
+/// OFF WHITE OFF WHITE OFF WHITE OFF WHITE OFF. Carries the colors
+/// starting from index M/2 (wrapping), so the middle of the color list —
+/// unreachable from either end when the packet exceeds the camera's
+/// gap-free window — is covered by the packet head too.
+[[nodiscard]] const std::vector<ChannelSymbol>& rotated_calibration_flag_sequence();
+
+/// Number of data symbols in the size field for a given CSK order.
+[[nodiscard]] int size_field_symbols(csk::CskOrder order) noexcept;
+
+/// Encodes `payload_symbol_count` into size-field data symbols using the
+/// given mapper-free base-M positional encoding (most significant symbol
+/// first). Values are clamped to the 12-bit range.
+[[nodiscard]] std::vector<ChannelSymbol> encode_size_field(int payload_symbol_count,
+                                                           csk::CskOrder order);
+
+/// Decodes a size field; nullopt if any symbol is not a data symbol.
+[[nodiscard]] std::optional<int> decode_size_field(std::span<const ChannelSymbol> symbols,
+                                                   csk::CskOrder order);
+
+/// Packet classification after flag matching.
+enum class PacketKind {
+  kData,
+  kCalibration,
+};
+
+}  // namespace colorbars::protocol

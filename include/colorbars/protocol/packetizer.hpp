@@ -1,0 +1,70 @@
+#pragma once
+
+// Transmit-side packet construction: turns RS-coded payload bytes into
+// the full on-air channel-symbol stream (delimiter, flag, size field,
+// white-interleaved payload), and builds the periodic calibration
+// packets (paper §5 and §6).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "colorbars/csk/mapper.hpp"
+#include "colorbars/protocol/illumination.hpp"
+#include "colorbars/protocol/packet.hpp"
+
+namespace colorbars::protocol {
+
+/// Wire-format parameters shared by transmitter and receiver.
+struct FrameFormat {
+  csk::CskOrder order = csk::CskOrder::kCsk8;
+  /// phi: fraction of payload slots carrying data (paper's illumination
+  /// ratio). The flicker module provides the flicker-free minimum for a
+  /// given symbol frequency.
+  double illumination_ratio = 0.8;
+};
+
+/// Builds channel-symbol packets from coded payload bytes.
+class Packetizer {
+ public:
+  Packetizer(FrameFormat format, const csk::Constellation& constellation);
+
+  [[nodiscard]] const FrameFormat& format() const noexcept { return format_; }
+  [[nodiscard]] const csk::SymbolMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] const IlluminationSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Builds one data packet from already-RS-encoded payload bytes.
+  /// Layout: delimiter, data flag, size field (payload data-symbol
+  /// count), payload interleaved with white symbols.
+  [[nodiscard]] std::vector<ChannelSymbol> build_data_packet(
+      std::span<const std::uint8_t> coded_payload) const;
+
+  /// Builds a calibration packet: delimiter, calibration flag, then every
+  /// constellation point in index order (paper §6).
+  [[nodiscard]] std::vector<ChannelSymbol> build_calibration_packet() const;
+
+  /// Builds a reversed calibration packet: delimiter, reversed flag, then
+  /// every constellation point in *descending* index order. Interleaved
+  /// with forward packets so receivers whose gap-free window is shorter
+  /// than the packet still cover every reference (see packet.hpp).
+  [[nodiscard]] std::vector<ChannelSymbol> build_reversed_calibration_packet() const;
+
+  /// Builds a rotated calibration packet: delimiter, rotated flag, then
+  /// the constellation points starting at index M/2 and wrapping. Covers
+  /// the middle of the color list from the packet head (see packet.hpp).
+  [[nodiscard]] std::vector<ChannelSymbol> build_rotated_calibration_packet() const;
+
+  /// Number of channel-symbol slots build_data_packet will produce for a
+  /// payload of `byte_count` coded bytes (for link budgeting).
+  [[nodiscard]] int data_packet_slots(int byte_count) const noexcept;
+
+  /// Data symbols needed to carry `byte_count` bytes at this order.
+  [[nodiscard]] int symbols_for_bytes(int byte_count) const noexcept;
+
+ private:
+  FrameFormat format_;
+  csk::SymbolMapper mapper_;
+  IlluminationSchedule schedule_;
+};
+
+}  // namespace colorbars::protocol

@@ -1,0 +1,52 @@
+#pragma once
+
+// The channel-symbol alphabet. On the wire (i.e. in the emission trace)
+// every symbol slot carries one of:
+//   - a DATA symbol: one constellation point of the active CSK order,
+//   - a WHITE illumination symbol: the gamut's balanced white, inserted
+//     to keep the eye-perceived color white (paper §4),
+//   - an OFF symbol: LED dark, used only in packet delimiters and flags
+//     because darkness is trivially distinguishable from any color
+//     (paper §5, "Packetization").
+
+#include <cstdint>
+#include <vector>
+
+#include "colorbars/csk/modulation.hpp"
+
+namespace colorbars::protocol {
+
+enum class SymbolKind : std::uint8_t {
+  kOff,
+  kWhite,
+  kData,
+};
+
+/// One channel symbol slot.
+struct ChannelSymbol {
+  SymbolKind kind = SymbolKind::kOff;
+  /// Constellation index; meaningful only when kind == kData.
+  int data_index = 0;
+
+  friend constexpr bool operator==(const ChannelSymbol&, const ChannelSymbol&) = default;
+
+  [[nodiscard]] static constexpr ChannelSymbol off() noexcept {
+    return {SymbolKind::kOff, 0};
+  }
+  [[nodiscard]] static constexpr ChannelSymbol white() noexcept {
+    return {SymbolKind::kWhite, 0};
+  }
+  [[nodiscard]] static constexpr ChannelSymbol data(int index) noexcept {
+    return {SymbolKind::kData, index};
+  }
+};
+
+/// Converts a channel symbol into the LED drive that renders it.
+[[nodiscard]] csk::LedDrive drive_of(const ChannelSymbol& symbol,
+                                     const csk::Constellation& constellation);
+
+/// Converts a sequence of channel symbols into drives.
+[[nodiscard]] std::vector<csk::LedDrive> drives_of(const std::vector<ChannelSymbol>& symbols,
+                                                   const csk::Constellation& constellation);
+
+}  // namespace colorbars::protocol

@@ -1,0 +1,93 @@
+#pragma once
+
+// Reed-Solomon codec over GF(256), systematic encoding, with combined
+// error-and-erasure decoding (syndromes -> Berlekamp-Massey with erasure
+// initialization -> Chien search -> Forney).
+//
+// ColorBars uses RS codes because the camera's inter-frame gap erases a
+// contiguous run of transmitted symbols at an a-priori-unknown offset
+// within each codeword (paper §5). The receiver usually *can* locate the
+// gap (the band count comes up short against the header's size field), so
+// the decoder supports declared erasures — which doubles the correctable
+// loss relative to blind error decoding: #erasures + 2*#errors <= n-k.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace colorbars::rs {
+
+/// Outcome of a decode attempt.
+enum class DecodeStatus {
+  kOk,               ///< codeword was already consistent or was repaired
+  kTooManyErrors,    ///< error/erasure count exceeds code capability
+  kMalformedInput,   ///< wrong codeword length or invalid erasure position
+};
+
+/// Result of decoding one codeword.
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kMalformedInput;
+  std::vector<std::uint8_t> message;  ///< k message bytes when status == kOk
+  int corrected_errors = 0;           ///< error positions repaired (not counting erasures)
+  int corrected_erasures = 0;         ///< declared erasures filled in
+
+  [[nodiscard]] bool ok() const noexcept { return status == DecodeStatus::kOk; }
+};
+
+/// A systematic RS(n, k) code over bytes, n <= 255, 0 < k < n.
+/// Codewords are message-first: bytes [0, k) are the message, [k, n) the
+/// parity. Shortened codes (n < 255) are handled by the usual virtual
+/// zero-padding, which this layout gives for free.
+class ReedSolomon {
+ public:
+  /// Constructs the code; throws std::invalid_argument on bad parameters.
+  ReedSolomon(int n, int k);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int parity_count() const noexcept { return n_ - k_; }
+
+  /// Maximum number of unlocated byte errors the code can correct.
+  [[nodiscard]] int max_errors() const noexcept { return (n_ - k_) / 2; }
+
+  /// Encodes k message bytes into an n-byte codeword.
+  /// Precondition: message.size() == k (throws std::invalid_argument).
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> message) const;
+
+  /// Decodes an n-byte codeword with no declared erasures.
+  [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> codeword) const;
+
+  /// Decodes with declared erasure positions (indices into the codeword).
+  /// The byte values at erased positions are ignored. Decoding succeeds
+  /// when #erasures + 2 * #unlocated-errors <= n - k.
+  [[nodiscard]] DecodeResult decode(std::span<const std::uint8_t> codeword,
+                                    std::span<const int> erasure_positions) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::uint8_t> generator_;  // generator polynomial, low-first
+};
+
+/// Derives the RS code parameters ColorBars uses for a link, following
+/// the paper's §5 formulas. All quantities are in *bytes* after mapping
+/// the C-bit channel symbols onto the byte stream.
+struct CodeParameters {
+  int n = 0;  ///< codeword bytes
+  int k = 0;  ///< message bytes
+};
+
+/// Computes RS sizing from link characteristics (paper §5):
+///   Fs = (1-l) * S / F   symbols received per frame
+///   Ls = l * S / F       symbols lost per inter-frame gap
+///   n  = phi * C * (Fs + Ls) bits,  2t = 2 * phi * C * Ls bits,
+///   k  = n - 2t
+/// rounded to whole bytes and clamped to valid RS ranges (n <= 255,
+/// k >= 1). `symbol_rate` is S (sym/s), `frame_rate` is F (frames/s),
+/// `loss_ratio` is l, `bits_per_symbol` is C, and `illumination_ratio`
+/// is phi (fraction of symbols that carry data rather than white light).
+[[nodiscard]] CodeParameters derive_code_parameters(double symbol_rate, double frame_rate,
+                                                    double loss_ratio, int bits_per_symbol,
+                                                    double illumination_ratio);
+
+}  // namespace colorbars::rs

@@ -1,0 +1,52 @@
+#pragma once
+
+// Blind symbol-rate estimation. The ColorBars receiver needs the
+// transmitter's symbol rate to project bands onto the slot timeline; the
+// paper assumes it is link configuration, but a practical receiver can
+// recover it from the captured bands themselves (the unsynchronization
+// problem RollingLight [1] tackles for FSK).
+//
+// Principle: every band duration is an integer multiple of the symbol
+// duration T (runs of equal symbols merge into one band). A candidate T
+// is scored by how close all observed band durations are to integer
+// multiples of it; harmonics (T/2, T/3...) also fit, so the search
+// prefers the *largest* T that fits — i.e. the lowest rate consistent
+// with the data.
+
+#include <span>
+#include <vector>
+
+#include "colorbars/camera/image.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+
+namespace colorbars::rx {
+
+/// Result of a rate estimation.
+struct RateEstimate {
+  double symbol_rate_hz = 0.0;
+  /// Mean relative deviation of band durations from the nearest integer
+  /// multiple of the estimated symbol duration (0 = perfect fit).
+  double residual = 1.0;
+  /// Bands that contributed.
+  int band_count = 0;
+
+  [[nodiscard]] bool plausible() const noexcept {
+    return band_count >= 8 && residual < 0.08;
+  }
+};
+
+/// Scores one candidate rate against a set of band durations; returns
+/// the mean relative deviation from integer multiples (lower = better).
+[[nodiscard]] double rate_fit_residual(std::span<const double> band_durations_s,
+                                       double candidate_rate_hz);
+
+/// Estimates the symbol rate from captured frames by scanning candidate
+/// rates in [min_rate_hz, max_rate_hz]. Needs frames containing data or
+/// calibration traffic (band variety); a static scene yields an estimate
+/// with plausible() == false.
+[[nodiscard]] RateEstimate estimate_symbol_rate(std::span<const camera::Frame> frames,
+                                                double min_rate_hz = 500.0,
+                                                double max_rate_hz = 4500.0,
+                                                const ExtractorConfig& config = {});
+
+}  // namespace colorbars::rx

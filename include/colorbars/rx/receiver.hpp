@@ -1,0 +1,147 @@
+#pragma once
+
+// Stream-level ColorBars receiver (paper §7). Consumes the frames of a
+// video capture, projects every detected band onto the global
+// symbol-slot timeline, finds packet delimiters/flags, absorbs
+// calibration packets, and decodes data packets through positional
+// white-stripping and Reed-Solomon error/erasure correction. Slots that
+// fall into the camera's inter-frame gap are simply never observed;
+// they surface as erasures inside whatever packet spans the gap.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "colorbars/camera/image.hpp"
+#include "colorbars/protocol/packetizer.hpp"
+#include "colorbars/rs/reed_solomon.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+#include "colorbars/rx/calibration_store.hpp"
+
+namespace colorbars::rx {
+
+/// Everything the receiver must know a priori (modulation settings are
+/// link configuration; the camera timing is the receiver's own device).
+struct ReceiverConfig {
+  protocol::FrameFormat format{};
+  double symbol_rate_hz = 2000.0;
+  /// RS code dimensions the transmitter uses for data packets.
+  int rs_n = 64;
+  int rs_k = 32;
+  ExtractorConfig extractor{};
+  ClassifierConfig classifier{};
+  /// Declare gap-lost payload slots as RS erasures (paper §7: the size
+  /// field plus the band count locate the loss). Disabling falls back to
+  /// blind error decoding — the paper's literal 2t formula — and roughly
+  /// halves the recoverable loss. Ablation knob.
+  bool use_erasure_decoding = true;
+};
+
+/// The dense slot timeline assembled from a set of frames.
+struct SlotTimeline {
+  long long base_slot = 0;
+  std::vector<std::optional<SlotObservation>> slots;
+
+  [[nodiscard]] std::size_t observed_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& slot : slots) count += slot.has_value() ? 1 : 0;
+    return count;
+  }
+};
+
+/// Why a packet attempt was abandoned.
+enum class PacketFailure {
+  kNone,
+  kHeaderLost,        ///< flag or size field hit the gap / was unreadable
+  kNotCalibrated,     ///< data packet arrived before any calibration packet
+  kRsFailure,         ///< too many errors+erasures for the RS code
+  kTruncated,         ///< stream ended mid-packet
+};
+
+/// Outcome of one parsed packet.
+struct PacketRecord {
+  protocol::PacketKind kind = protocol::PacketKind::kData;
+  bool ok = false;
+  PacketFailure failure = PacketFailure::kNone;
+  long long start_slot = 0;
+  std::vector<std::uint8_t> payload;  ///< decoded message bytes (data packets)
+  int corrected_errors = 0;
+  int corrected_erasures = 0;
+  int erased_slots = 0;  ///< payload slots lost to the inter-frame gap
+};
+
+/// Aggregate result of processing a capture.
+struct ReceiverReport {
+  std::vector<PacketRecord> packets;
+  std::vector<std::uint8_t> payload;  ///< concatenated payloads of good packets
+  long long slots_observed = 0;
+  long long slot_span = 0;            ///< first-to-last observed slot distance
+  int calibration_packets = 0;
+  int data_packets_ok = 0;
+  int data_packets_failed = 0;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(ReceiverConfig config);
+
+  [[nodiscard]] const ReceiverConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CalibrationStore& store() const noexcept { return store_; }
+  [[nodiscard]] CalibrationStore& store() noexcept { return store_; }
+
+  /// Front end: builds the dense slot timeline from captured frames.
+  [[nodiscard]] SlotTimeline collect(std::span<const camera::Frame> frames) const;
+
+  /// Full pipeline: collect + parse + decode.
+  [[nodiscard]] ReceiverReport process(std::span<const camera::Frame> frames);
+
+  /// Parses an already-collected timeline (exposed for tests and for
+  /// experiments that inspect the timeline).
+  [[nodiscard]] ReceiverReport parse(const SlotTimeline& timeline);
+
+  /// Classifies a single observation against the current calibration,
+  /// restricted to data symbols (used for size fields and payload slots,
+  /// where the schedule says the slot cannot be white/off).
+  [[nodiscard]] int classify_data(const SlotObservation& observation) const;
+
+ private:
+  /// Observation state of one timeline slot.
+  enum class SlotState { kMissing, kOff, kLit };
+
+  [[nodiscard]] SlotState slot_state(const SlotTimeline& timeline,
+                                     std::size_t position) const;
+
+  /// True if the timeline matches `pattern` at `position` (O = dark band
+  /// present, W = lit band present; any missing slot fails the match).
+  [[nodiscard]] bool matches_pattern(const SlotTimeline& timeline, std::size_t position,
+                                     std::span<const protocol::ChannelSymbol> pattern) const;
+
+  /// Guard against prefix masquerading: every shorter flag pattern is a
+  /// strict prefix of the longer ones, so a gap-truncated longer prefix
+  /// can impersonate a shorter one. A match of a pattern of length N is
+  /// only accepted when slots N and N+1 after `position` prove it is NOT
+  /// the continuation of a longer alternating prefix — i.e. they are
+  /// observed and not (lit, dark). Missing slots are ambiguous and
+  /// reject the match (the packet would be undecodable anyway).
+  [[nodiscard]] bool extension_rules_out_longer_prefix(const SlotTimeline& timeline,
+                                                       std::size_t position,
+                                                       std::size_t pattern_size) const;
+
+  /// Learns the white reference from the W slots of a matched pattern.
+  void absorb_pattern_white(const SlotTimeline& timeline, std::size_t position,
+                            std::span<const protocol::ChannelSymbol> pattern);
+
+  /// Reads the constellation-size color sequence of a calibration packet
+  /// starting at `colors_at`; colors lost to the gap are left empty.
+  [[nodiscard]] std::vector<std::optional<ReferenceColor>> read_calibration_colors(
+      const SlotTimeline& timeline, std::size_t colors_at) const;
+
+  ReceiverConfig config_;
+  csk::Constellation constellation_;
+  protocol::Packetizer packetizer_;
+  rs::ReedSolomon code_;
+  CalibrationStore store_;
+};
+
+}  // namespace colorbars::rx

@@ -1,0 +1,61 @@
+#pragma once
+
+// Frame-at-a-time receiver facade. The paper's Android receiver runs a
+// two-thread pipeline: one thread converts each camera frame as it
+// arrives, another consumes the preprocessed frames and emits decoded
+// packets (§8, "Experiment Setup"). StreamingReceiver provides that
+// consumption model on top of the batch Receiver: push frames as the
+// camera delivers them, poll for packets that have become decodable.
+//
+// Packets are reported exactly once, in slot order. Because a packet can
+// span the inter-frame gap into the *next* frame, a packet is only
+// finalized once the timeline extends at least one whole frame period
+// beyond it; call finish() at end of capture to flush the tail.
+
+#include <deque>
+
+#include "colorbars/rx/receiver.hpp"
+
+namespace colorbars::rx {
+
+class StreamingReceiver {
+ public:
+  explicit StreamingReceiver(ReceiverConfig config);
+
+  [[nodiscard]] const CalibrationStore& store() const noexcept {
+    return receiver_.store();
+  }
+
+  /// Ingests the next camera frame (frames must arrive in capture order).
+  void push_frame(const camera::Frame& frame);
+
+  /// Returns the packets that have become decodable since the last call
+  /// (possibly none). Cheap when no new frames arrived.
+  [[nodiscard]] std::vector<PacketRecord> poll();
+
+  /// Flushes everything, including packets near the end of the capture
+  /// that poll() was still holding back. Call once, at end of stream.
+  [[nodiscard]] std::vector<PacketRecord> finish();
+
+  /// Concatenated payloads of every OK data packet reported so far.
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept {
+    return payload_;
+  }
+
+  /// Total frames ingested.
+  [[nodiscard]] int frames_ingested() const noexcept { return frames_ingested_; }
+
+ private:
+  /// Parses the accumulated timeline and returns records not yet
+  /// reported, up to `horizon_slot` (inclusive start).
+  [[nodiscard]] std::vector<PacketRecord> drain(long long horizon_slot);
+
+  Receiver receiver_;
+  std::vector<SlotObservation> observations_;
+  long long last_reported_start_ = -1;
+  long long latest_slot_ = -1;
+  int frames_ingested_ = 0;
+  std::vector<std::uint8_t> payload_;
+};
+
+}  // namespace colorbars::rx

@@ -1,0 +1,87 @@
+#pragma once
+
+// Bit-level serialization helpers. The ColorBars transmitter splits the
+// encoded byte stream into C-bit chunks (C = log2 of the CSK order) and
+// the receiver reassembles them; BitWriter/BitReader are the single
+// implementation of that splitting used by tx, rx and the tests.
+//
+// Bit order is most-significant-bit first within each byte, matching the
+// conventional network/serial transmission order.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace colorbars::util {
+
+/// Accumulates values of 1..32 bits into a packed byte vector (MSB-first).
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `bits` bits of `value` (1 <= bits <= 32).
+  void write(std::uint32_t value, int bits);
+
+  /// Appends a whole byte (convenience for write(value, 8)).
+  void write_byte(std::uint8_t value) { write(value, 8); }
+
+  /// Appends every byte of `bytes` in order.
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Pads with zero bits up to the next byte boundary (no-op if aligned).
+  void align_to_byte();
+
+  /// Total number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Finished buffer; the final partial byte (if any) is zero-padded.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// Moves the buffer out, leaving the writer empty.
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads 1..32-bit values back out of a packed byte buffer (MSB-first).
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  /// Reads `bits` bits (1 <= bits <= 32). Reading past the end returns
+  /// zero bits for the missing positions and marks the reader overrun.
+  [[nodiscard]] std::uint32_t read(int bits) noexcept;
+
+  /// Number of unread bits remaining.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() * 8 - position_;
+  }
+
+  /// True once a read has gone past the end of the buffer.
+  [[nodiscard]] bool overrun() const noexcept { return overrun_; }
+
+  /// Current bit offset from the start of the buffer.
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t position_ = 0;
+  bool overrun_ = false;
+};
+
+/// Splits `bytes` into consecutive `bits_per_chunk`-bit values (MSB-first),
+/// zero-padding the final chunk. This is exactly the paper's "bits are
+/// split into pieces of C bits" step before CSK mapping.
+[[nodiscard]] std::vector<std::uint32_t> split_bits(std::span<const std::uint8_t> bytes,
+                                                    int bits_per_chunk);
+
+/// Inverse of split_bits: packs `bits_per_chunk`-bit values back into
+/// bytes, truncating to `byte_count` (the original payload size).
+[[nodiscard]] std::vector<std::uint8_t> join_bits(std::span<const std::uint32_t> chunks,
+                                                  int bits_per_chunk,
+                                                  std::size_t byte_count);
+
+}  // namespace colorbars::util

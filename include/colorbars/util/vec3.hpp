@@ -1,0 +1,158 @@
+#pragma once
+
+// Small fixed-size linear algebra used throughout the color pipeline:
+// 3-vectors for tristimulus / RGB triples and 3x3 matrices for color
+// space transforms and camera color-response models.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace colorbars::util {
+
+/// A 3-component double vector with value semantics.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) noexcept : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](std::size_t i) noexcept { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) noexcept {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) noexcept { return a /= s; }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double sum() const noexcept { return x + y + z; }
+  [[nodiscard]] constexpr double max_component() const noexcept {
+    return x > y ? (x > z ? x : z) : (y > z ? y : z);
+  }
+  [[nodiscard]] constexpr double min_component() const noexcept {
+    return x < y ? (x < z ? x : z) : (y < z ? y : z);
+  }
+
+  /// Component-wise (Hadamard) product.
+  [[nodiscard]] constexpr Vec3 hadamard(const Vec3& o) const noexcept {
+    return {x * o.x, y * o.y, z * o.z};
+  }
+
+  /// Clamps each component to [lo, hi].
+  [[nodiscard]] constexpr Vec3 clamped(double lo, double hi) const noexcept {
+    auto clamp1 = [lo, hi](double v) { return v < lo ? lo : (v > hi ? hi : v); };
+    return {clamp1(x), clamp1(y), clamp1(z)};
+  }
+};
+
+/// Euclidean distance between two 3-vectors.
+[[nodiscard]] inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+/// A row-major 3x3 double matrix.
+struct Mat3 {
+  // rows[r][c]
+  std::array<std::array<double, 3>, 3> rows{};
+
+  constexpr Mat3() = default;
+  constexpr Mat3(double a, double b, double c,
+                 double d, double e, double f,
+                 double g, double h, double i) noexcept
+      : rows{{{a, b, c}, {d, e, f}, {g, h, i}}} {}
+
+  [[nodiscard]] static constexpr Mat3 identity() noexcept {
+    return {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  }
+
+  /// Builds the matrix whose columns are the given vectors.
+  [[nodiscard]] static constexpr Mat3 from_columns(const Vec3& c0, const Vec3& c1,
+                                                   const Vec3& c2) noexcept {
+    return {c0.x, c1.x, c2.x, c0.y, c1.y, c2.y, c0.z, c1.z, c2.z};
+  }
+
+  constexpr double& operator()(std::size_t r, std::size_t c) noexcept { return rows[r][c]; }
+  constexpr double operator()(std::size_t r, std::size_t c) const noexcept { return rows[r][c]; }
+
+  friend constexpr Vec3 operator*(const Mat3& m, const Vec3& v) noexcept {
+    return {m.rows[0][0] * v.x + m.rows[0][1] * v.y + m.rows[0][2] * v.z,
+            m.rows[1][0] * v.x + m.rows[1][1] * v.y + m.rows[1][2] * v.z,
+            m.rows[2][0] * v.x + m.rows[2][1] * v.y + m.rows[2][2] * v.z};
+  }
+
+  friend constexpr Mat3 operator*(const Mat3& a, const Mat3& b) noexcept {
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c)
+        out(r, c) = a(r, 0) * b(0, c) + a(r, 1) * b(1, c) + a(r, 2) * b(2, c);
+    return out;
+  }
+
+  friend constexpr Mat3 operator*(const Mat3& a, double s) noexcept {
+    Mat3 out = a;
+    for (auto& row : out.rows)
+      for (auto& v : row) v *= s;
+    return out;
+  }
+
+  friend constexpr bool operator==(const Mat3&, const Mat3&) = default;
+
+  [[nodiscard]] constexpr double determinant() const noexcept {
+    return rows[0][0] * (rows[1][1] * rows[2][2] - rows[1][2] * rows[2][1]) -
+           rows[0][1] * (rows[1][0] * rows[2][2] - rows[1][2] * rows[2][0]) +
+           rows[0][2] * (rows[1][0] * rows[2][1] - rows[1][1] * rows[2][0]);
+  }
+
+  /// Matrix inverse via adjugate. Precondition: determinant() != 0.
+  [[nodiscard]] constexpr Mat3 inverse() const noexcept {
+    const double det = determinant();
+    const double inv_det = 1.0 / det;
+    Mat3 out;
+    out(0, 0) = (rows[1][1] * rows[2][2] - rows[1][2] * rows[2][1]) * inv_det;
+    out(0, 1) = (rows[0][2] * rows[2][1] - rows[0][1] * rows[2][2]) * inv_det;
+    out(0, 2) = (rows[0][1] * rows[1][2] - rows[0][2] * rows[1][1]) * inv_det;
+    out(1, 0) = (rows[1][2] * rows[2][0] - rows[1][0] * rows[2][2]) * inv_det;
+    out(1, 1) = (rows[0][0] * rows[2][2] - rows[0][2] * rows[2][0]) * inv_det;
+    out(1, 2) = (rows[0][2] * rows[1][0] - rows[0][0] * rows[1][2]) * inv_det;
+    out(2, 0) = (rows[1][0] * rows[2][1] - rows[1][1] * rows[2][0]) * inv_det;
+    out(2, 1) = (rows[0][1] * rows[2][0] - rows[0][0] * rows[2][1]) * inv_det;
+    out(2, 2) = (rows[0][0] * rows[1][1] - rows[0][1] * rows[1][0]) * inv_det;
+    return out;
+  }
+
+  [[nodiscard]] constexpr Mat3 transposed() const noexcept {
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) out(r, c) = rows[c][r];
+    return out;
+  }
+};
+
+}  // namespace colorbars::util

@@ -1,0 +1,72 @@
+#include "colorbars/baseline/ook.hpp"
+
+#include <cmath>
+
+#include "colorbars/rx/band_extractor.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::baseline {
+
+led::EmissionTrace ook_modulate(const std::vector<std::uint8_t>& bits,
+                                const OokConfig& config) {
+  const led::TriLed led(config.led);
+  const double duration = 1.0 / config.symbol_rate_hz;
+  led::EmissionTrace trace;
+  for (const std::uint8_t bit : bits) {
+    const csk::LedDrive drive = bit ? csk::white_drive() : csk::off_drive();
+    trace.append(duration, led.radiance(drive));
+  }
+  return trace;
+}
+
+OokDecodeResult ook_demodulate(const std::vector<camera::Frame>& frames,
+                               const OokConfig& config) {
+  // Collect per-slot lightness through the shared band extractor; OOK
+  // only needs the lightness channel.
+  std::vector<rx::SlotObservation> observations;
+  rx::ExtractorConfig extractor;
+  for (const camera::Frame& frame : frames) {
+    const auto slots = rx::extract_slots(frame, config.symbol_rate_hz, extractor);
+    observations.insert(observations.end(), slots.begin(), slots.end());
+  }
+
+  OokDecodeResult result;
+  if (observations.empty()) return result;
+  long long max_slot = 0;
+  for (const auto& observation : observations) {
+    max_slot = std::max(max_slot, observation.slot);
+  }
+  result.slots_total = max_slot + 1;
+  result.bits.assign(static_cast<std::size_t>(result.slots_total), 0);
+  result.observed.assign(static_cast<std::size_t>(result.slots_total), false);
+  for (const auto& observation : observations) {
+    const auto index = static_cast<std::size_t>(observation.slot);
+    result.observed[index] = true;
+    result.bits[index] = observation.lightness >= config.on_lightness ? 1 : 0;
+  }
+  return result;
+}
+
+OokRunResult ook_run(const OokConfig& config, const camera::SensorProfile& profile,
+                     const camera::SceneConfig& scene, int bit_count, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(bit_count));
+  for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng.below(2));
+
+  const led::EmissionTrace trace = ook_modulate(bits, config);
+  camera::RollingShutterCamera camera(profile, scene, rng());
+  const std::vector<camera::Frame> frames = camera.capture_video(trace);
+  const OokDecodeResult decoded = ook_demodulate(frames, config);
+
+  OokRunResult result;
+  result.bits_sent = bit_count;
+  result.air_time_s = trace.duration();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i >= decoded.observed.size() || !decoded.observed[i]) continue;
+    ++result.bits_observed;
+    if (decoded.bits[i] != bits[i]) ++result.bit_errors;
+  }
+  return result;
+}
+
+}  // namespace colorbars::baseline

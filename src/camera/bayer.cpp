@@ -1,0 +1,85 @@
+#include "colorbars/camera/bayer.hpp"
+
+#include <stdexcept>
+
+namespace colorbars::camera {
+
+std::vector<double> mosaic(const FloatImage& rgb) {
+  const int rows = rgb.rows();
+  const int columns = rgb.columns();
+  std::vector<double> raw(static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < columns; ++c) {
+      const util::Vec3& pixel = rgb.at(r, c);
+      double value = 0.0;
+      switch (bayer_channel(r, c)) {
+        case BayerChannel::kRed: value = pixel.x; break;
+        case BayerChannel::kGreen: value = pixel.y; break;
+        case BayerChannel::kBlue: value = pixel.z; break;
+      }
+      raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(columns) +
+          static_cast<std::size_t>(c)] = value;
+    }
+  }
+  return raw;
+}
+
+namespace {
+
+/// Mean of the raw values at the listed (row, col) offsets that fall
+/// inside the image and whose site matches `channel`.
+double neighbor_mean(const std::vector<double>& raw, int rows, int columns, int row,
+                     int column, BayerChannel channel) {
+  static constexpr int kOffsets[8][2] = {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                                         {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+  double total = 0.0;
+  int count = 0;
+  for (const auto& offset : kOffsets) {
+    const int r = row + offset[0];
+    const int c = column + offset[1];
+    if (r < 0 || r >= rows || c < 0 || c >= columns) continue;
+    if (bayer_channel(r, c) != channel) continue;
+    total += raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(columns) +
+                 static_cast<std::size_t>(c)];
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace
+
+FloatImage demosaic(const std::vector<double>& raw, int rows, int columns) {
+  if (raw.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns)) {
+    throw std::invalid_argument("demosaic: raw size does not match dimensions");
+  }
+  FloatImage rgb(rows, columns);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < columns; ++c) {
+      const double own =
+          raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(columns) +
+              static_cast<std::size_t>(c)];
+      util::Vec3 pixel;
+      switch (bayer_channel(r, c)) {
+        case BayerChannel::kRed:
+          pixel.x = own;
+          pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
+          pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
+          break;
+        case BayerChannel::kGreen:
+          pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
+          pixel.y = own;
+          pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
+          break;
+        case BayerChannel::kBlue:
+          pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
+          pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
+          pixel.z = own;
+          break;
+      }
+      rgb.at(r, c) = pixel;
+    }
+  }
+  return rgb;
+}
+
+}  // namespace colorbars::camera

@@ -1,0 +1,167 @@
+#include "colorbars/camera/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "colorbars/camera/bayer.hpp"
+#include "colorbars/color/cie.hpp"
+
+namespace colorbars::camera {
+
+using util::Vec3;
+
+RollingShutterCamera::RollingShutterCamera(SensorProfile profile, SceneConfig scene,
+                                           std::uint64_t noise_seed)
+    : profile_(std::move(profile)), scene_(scene), rng_(noise_seed) {
+  if (profile_.rows <= 0 || profile_.columns <= 0 || profile_.fps <= 0.0 ||
+      profile_.inter_frame_loss_ratio < 0.0 || profile_.inter_frame_loss_ratio >= 1.0) {
+    throw std::invalid_argument("RollingShutterCamera: invalid sensor profile");
+  }
+}
+
+ExposureSettings RollingShutterCamera::auto_exposure(const Vec3& mean_radiance) const noexcept {
+  // Controller: pick the exposure that puts the mean green response at
+  // the target, at base ISO; raise ISO only when the exposure ceiling is
+  // reached (standard phone AE priority order).
+  const Vec3 sensor = profile_.xyz_to_sensor_rgb * (mean_radiance * scene_.signal_scale);
+  const double mean_green = std::max(sensor.y, 1e-6);
+
+  ExposureSettings settings;
+  settings.iso = profile_.min_iso;
+  // response = sensitivity * (iso/100) * exposure_ms * mean_green
+  const double needed_exposure_ms = profile_.auto_exposure_target /
+                                    (profile_.sensitivity * (settings.iso / 100.0) *
+                                     mean_green);
+  double exposure_s = needed_exposure_ms / 1000.0;
+  if (exposure_s > profile_.max_exposure_s) {
+    // Dark scene: max out exposure, then raise ISO.
+    const double iso = settings.iso * exposure_s / profile_.max_exposure_s;
+    settings.iso = std::clamp(iso, profile_.min_iso, profile_.max_iso);
+    exposure_s = profile_.max_exposure_s;
+  }
+  settings.exposure_s = std::clamp(exposure_s, profile_.min_exposure_s,
+                                   profile_.max_exposure_s);
+  return settings;
+}
+
+double RollingShutterCamera::vignette_gain(int row, int column) const noexcept {
+  if (profile_.vignette_strength <= 0.0) return 1.0;
+  const double dr = (row - 0.5 * (profile_.rows - 1)) / (0.5 * profile_.rows);
+  const double dc = (column - 0.5 * (profile_.columns - 1)) / (0.5 * profile_.columns);
+  const double radial2 = 0.5 * (dr * dr + dc * dc);
+  return 1.0 - profile_.vignette_strength * radial2;
+}
+
+Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double read_time_s,
+                                      const ExposureSettings& settings) const noexcept {
+  // Exposure window ends at the scanline's readout instant.
+  const Vec3 led_xyz =
+      trace.average(read_time_s - settings.exposure_s, read_time_s) * scene_.signal_scale;
+  const Vec3 ambient_xyz = color::xyy_to_xyz(color::kD65, scene_.ambient_level);
+  const Vec3 scene_xyz = led_xyz + ambient_xyz;
+  const Vec3 sensor = profile_.xyz_to_sensor_rgb * scene_xyz;
+  const double gain =
+      profile_.sensitivity * (settings.iso / 100.0) * (settings.exposure_s * 1000.0);
+  // CFA responses are non-negative; a strongly skewed matrix could go
+  // slightly negative off-gamut, which the sensor clips at zero charge.
+  return (sensor * gain).clamped(0.0, 1e9);
+}
+
+Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
+                                          double start_time_s, int frame_index) {
+  ExposureSettings settings;
+  if (manual_exposure_.has_value()) {
+    settings = *manual_exposure_;
+  } else {
+    const Vec3 mean =
+        trace.average(start_time_s, start_time_s + profile_.readout_duration_s());
+    settings = auto_exposure(mean);
+    // Frame-to-frame AE hunting: phones in auto mode never hold settings
+    // perfectly steady (paper §6.2).
+    settings.exposure_s *= std::clamp(rng_.normal(1.0, 0.03), 0.85, 1.15);
+    settings.exposure_s = std::clamp(settings.exposure_s, profile_.min_exposure_s,
+                                     profile_.max_exposure_s);
+  }
+
+  const double row_time = profile_.row_time_s();
+  const double iso_gain = settings.iso / 100.0;
+
+  // Per-row scene response (identical across columns before vignetting
+  // and noise, since the close-range LED floods the field of view).
+  std::vector<Vec3> row_response(static_cast<std::size_t>(profile_.rows));
+  for (int r = 0; r < profile_.rows; ++r) {
+    const double read_time = start_time_s + (r + 1) * row_time;
+    row_response[static_cast<std::size_t>(r)] = expose_row(trace, read_time, settings);
+  }
+
+  // Mosaic sampling with photon shot noise and read noise per site.
+  std::vector<double> raw(static_cast<std::size_t>(profile_.rows) *
+                          static_cast<std::size_t>(profile_.columns));
+  for (int r = 0; r < profile_.rows; ++r) {
+    const Vec3& response = row_response[static_cast<std::size_t>(r)];
+    for (int c = 0; c < profile_.columns; ++c) {
+      double signal = 0.0;
+      switch (bayer_channel(r, c)) {
+        case BayerChannel::kRed: signal = response.x; break;
+        case BayerChannel::kGreen: signal = response.y; break;
+        case BayerChannel::kBlue: signal = response.z; break;
+      }
+      signal *= vignette_gain(r, c);
+      const double shot_sigma = std::sqrt(std::max(signal, 0.0) * iso_gain /
+                                          profile_.well_capacity);
+      const double read_sigma = profile_.read_noise * iso_gain;
+      const double noisy =
+          signal + rng_.normal() * shot_sigma + rng_.normal() * read_sigma;
+      raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(profile_.columns) +
+          static_cast<std::size_t>(c)] = std::clamp(noisy, 0.0, 1.0);
+    }
+  }
+
+  const FloatImage rgb = demosaic(raw, profile_.rows, profile_.columns);
+
+  Frame frame;
+  frame.rows = profile_.rows;
+  frame.columns = profile_.columns;
+  frame.pixels.resize(static_cast<std::size_t>(profile_.rows) *
+                      static_cast<std::size_t>(profile_.columns));
+  frame.start_time_s = start_time_s;
+  frame.row_time_s = row_time;
+  frame.exposure_s = settings.exposure_s;
+  frame.iso = settings.iso;
+  frame.frame_index = frame_index;
+  for (int r = 0; r < profile_.rows; ++r) {
+    for (int c = 0; c < profile_.columns; ++c) {
+      frame.at(r, c) = color::to_rgb8(color::srgb_encode(rgb.at(r, c)));
+    }
+  }
+  return frame;
+}
+
+std::vector<Frame> RollingShutterCamera::capture_video(const led::EmissionTrace& trace,
+                                                       double start_offset_s) {
+  std::vector<Frame> frames;
+  const double period = profile_.frame_period_s();
+  // Frame timing wanders as a bounded random walk inside the gap
+  // (auto-exposure hunting continuously reshuffles readout start on real
+  // phones). The walk, unlike independent jitter, sweeps the full offset
+  // range over tens of frames — which is what de-phases the inter-frame
+  // gap from a packet stream sized to one frame period.
+  const double offset_max =
+      std::min(profile_.frame_start_jitter_s, 0.8 * profile_.gap_duration_s());
+  double offset = offset_max > 0.0 ? rng_.uniform(0.0, offset_max) : 0.0;
+  for (int index = 0;; ++index) {
+    // Multiply rather than accumulate so rounding cannot create a
+    // spurious extra frame at an exact trace boundary.
+    const double nominal = start_offset_s + index * period;
+    if (nominal >= trace.duration() - 1e-12) break;
+    frames.push_back(capture_frame(trace, nominal + offset, index));
+    if (offset_max > 0.0) {
+      offset += rng_.uniform(-0.4, 0.4) * offset_max;
+      offset = std::clamp(offset, 0.0, offset_max);
+    }
+  }
+  return frames;
+}
+
+}  // namespace colorbars::camera

@@ -1,0 +1,58 @@
+#include "colorbars/camera/ppm.hpp"
+
+#include <fstream>
+
+namespace colorbars::camera {
+
+std::string to_ppm(const Frame& frame) {
+  std::string out = "P6\n" + std::to_string(frame.columns) + " " +
+                    std::to_string(frame.rows) + "\n255\n";
+  out.reserve(out.size() + frame.pixels.size() * 3);
+  for (const color::Rgb8& pixel : frame.pixels) {
+    out.push_back(static_cast<char>(pixel.r));
+    out.push_back(static_cast<char>(pixel.g));
+    out.push_back(static_cast<char>(pixel.b));
+  }
+  return out;
+}
+
+bool write_ppm(const Frame& frame, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string bytes = to_ppm(frame);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+Frame downscale_rows(const Frame& frame, int row_factor) {
+  if (row_factor <= 1) return frame;
+  Frame out;
+  out.rows = frame.rows / row_factor;
+  out.columns = frame.columns;
+  out.pixels.resize(static_cast<std::size_t>(out.rows) *
+                    static_cast<std::size_t>(out.columns));
+  out.start_time_s = frame.start_time_s;
+  out.row_time_s = frame.row_time_s * row_factor;
+  out.exposure_s = frame.exposure_s;
+  out.iso = frame.iso;
+  out.frame_index = frame.frame_index;
+  for (int r = 0; r < out.rows; ++r) {
+    for (int c = 0; c < out.columns; ++c) {
+      int sum_r = 0;
+      int sum_g = 0;
+      int sum_b = 0;
+      for (int i = 0; i < row_factor; ++i) {
+        const color::Rgb8& pixel = frame.at(r * row_factor + i, c);
+        sum_r += pixel.r;
+        sum_g += pixel.g;
+        sum_b += pixel.b;
+      }
+      out.at(r, c) = {static_cast<std::uint8_t>(sum_r / row_factor),
+                      static_cast<std::uint8_t>(sum_g / row_factor),
+                      static_cast<std::uint8_t>(sum_b / row_factor)};
+    }
+  }
+  return out;
+}
+
+}  // namespace colorbars::camera

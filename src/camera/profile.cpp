@@ -1,0 +1,76 @@
+#include "colorbars/camera/profile.hpp"
+
+#include "colorbars/color/srgb.hpp"
+
+namespace colorbars::camera {
+
+namespace {
+
+using util::Mat3;
+
+/// Builds a device color-response matrix: the sRGB ISP matrix composed
+/// with a channel-crosstalk skew. `crosstalk` is the fraction of each
+/// channel's response that leaks into its neighbors (CFA dye overlap);
+/// `green_bias` models the Bayer green-heavy weighting differences.
+Mat3 skewed_response(double crosstalk, double green_bias) {
+  const Mat3 leak{1.0 - 2.0 * crosstalk, crosstalk, crosstalk,
+                  crosstalk, (1.0 - 2.0 * crosstalk) * green_bias, crosstalk,
+                  crosstalk, crosstalk, 1.0 - 2.0 * crosstalk};
+  return leak * color::xyz_to_srgb_matrix();
+}
+
+}  // namespace
+
+SensorProfile nexus5_profile() {
+  SensorProfile profile;
+  profile.name = "Nexus 5";
+  profile.rows = 2448;   // readout lines (sensor 2448x3264, paper §8)
+  profile.columns = 64;  // simulated column subsample of the 3264
+  profile.fps = 30.0;
+  profile.inter_frame_loss_ratio = 0.2312;  // Table 1
+  // Pronounced CFA crosstalk: the paper finds the Nexus 5 renders the
+  // transmitted colors less faithfully than the iPhone (Fig. 6a / §8).
+  profile.xyz_to_sensor_rgb = skewed_response(0.085, 0.97);
+  profile.read_noise = 0.005;
+  profile.well_capacity = 5000.0;
+  profile.vignette_strength = 0.40;
+  return profile;
+}
+
+SensorProfile iphone5s_profile() {
+  SensorProfile profile;
+  profile.name = "iPhone 5S";
+  profile.rows = 1080;   // readout lines (sensor 1080x1920, paper §8)
+  profile.columns = 64;  // simulated column subsample of the 1920
+  profile.fps = 30.0;
+  profile.inter_frame_loss_ratio = 0.3727;  // Table 1
+  // Mild crosstalk: better color fidelity, hence the lower SER the paper
+  // reports — but the larger gap loses more symbols per frame.
+  profile.xyz_to_sensor_rgb = skewed_response(0.03, 1.0);
+  profile.read_noise = 0.003;
+  profile.well_capacity = 9000.0;
+  profile.vignette_strength = 0.30;
+  // Faster optics (f/2.2, larger pixels) than the Nexus: auto-exposure
+  // lands near ~85 us, which its coarser 1080-line readout needs — at
+  // 4 kHz its bands are only ~13 lines, so exposure blur must stay small
+  // for the single-slot OFF flags to remain detectable.
+  profile.sensitivity = 14.0;
+  return profile;
+}
+
+SensorProfile ideal_profile() {
+  SensorProfile profile;
+  profile.name = "ideal";
+  profile.rows = 1080;
+  profile.columns = 32;
+  profile.fps = 30.0;
+  profile.inter_frame_loss_ratio = 0.25;
+  profile.xyz_to_sensor_rgb = color::xyz_to_srgb_matrix();
+  profile.read_noise = 0.001;
+  profile.well_capacity = 20000.0;
+  profile.vignette_strength = 0.0;
+  profile.sensitivity = 12.0;  // short exposure for its 1080-line readout
+  return profile;
+}
+
+}  // namespace colorbars::camera

@@ -1,0 +1,39 @@
+#include "colorbars/color/cie.hpp"
+
+#include <cmath>
+
+namespace colorbars::color {
+
+double xy_distance(const Chromaticity& a, const Chromaticity& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+xyY xyz_to_xyy(const XYZ& xyz) noexcept {
+  const double sum = xyz.sum();
+  if (sum <= 0.0) return {kD65, 0.0};
+  return {{xyz.x / sum, xyz.y / sum}, xyz.y};
+}
+
+XYZ xyy_to_xyz(const Chromaticity& c, double Y) noexcept {
+  const double scale = Y / c.y;
+  return {c.x * scale, Y, (1.0 - c.x - c.y) * scale};
+}
+
+XYZ d65_white_xyz() noexcept { return xyy_to_xyz(kD65, 1.0); }
+
+Mat3 rgb_to_xyz_matrix(const Chromaticity& red, const Chromaticity& green,
+                       const Chromaticity& blue, const Chromaticity& white) {
+  // Columns are the XYZ of each primary at unit luminance share; the
+  // scaling S makes RGB=(1,1,1) land exactly on the white point at Y=1.
+  const XYZ r = xyy_to_xyz(red, 1.0);
+  const XYZ g = xyy_to_xyz(green, 1.0);
+  const XYZ b = xyy_to_xyz(blue, 1.0);
+  const Mat3 primaries = Mat3::from_columns(r, g, b);
+  const XYZ w = xyy_to_xyz(white, 1.0);
+  const Vec3 s = primaries.inverse() * w;
+  return Mat3::from_columns(r * s.x, g * s.y, b * s.z);
+}
+
+}  // namespace colorbars::color

@@ -1,0 +1,62 @@
+#include "colorbars/color/gamut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace colorbars::color {
+
+namespace {
+
+double cross(const Chromaticity& origin, const Chromaticity& p,
+             const Chromaticity& q) noexcept {
+  return (p.x - origin.x) * (q.y - origin.y) - (p.y - origin.y) * (q.x - origin.x);
+}
+
+}  // namespace
+
+GamutTriangle::GamutTriangle(const Chromaticity& red, const Chromaticity& green,
+                             const Chromaticity& blue)
+    : red_(red), green_(green), blue_(blue) {
+  const double area2 = signed_double_area();
+  if (std::abs(area2) < 1e-12) {
+    throw std::invalid_argument("GamutTriangle: primaries are collinear");
+  }
+  inv_double_area_ = 1.0 / area2;
+}
+
+Chromaticity GamutTriangle::centroid() const noexcept {
+  return {(red_.x + green_.x + blue_.x) / 3.0, (red_.y + green_.y + blue_.y) / 3.0};
+}
+
+double GamutTriangle::signed_double_area() const noexcept {
+  return cross(red_, green_, blue_);
+}
+
+Barycentric GamutTriangle::barycentric(const Chromaticity& p) const noexcept {
+  // Weight of each vertex = area of the sub-triangle opposite it.
+  const double wr = cross(green_, blue_, p) * inv_double_area_;
+  const double wg = cross(blue_, red_, p) * inv_double_area_;
+  const double wb = 1.0 - wr - wg;
+  return {wr, wg, wb};
+}
+
+Chromaticity GamutTriangle::at(const Barycentric& w) const noexcept {
+  const double sum = w.sum();
+  const double r = w.r / sum;
+  const double g = w.g / sum;
+  const double b = w.b / sum;
+  return {r * red_.x + g * green_.x + b * blue_.x,
+          r * red_.y + g * green_.y + b * blue_.y};
+}
+
+bool GamutTriangle::contains(const Chromaticity& p, double tolerance) const noexcept {
+  const Barycentric w = barycentric(p);
+  return w.r >= -tolerance && w.g >= -tolerance && w.b >= -tolerance;
+}
+
+const GamutTriangle& default_led_gamut() {
+  static const GamutTriangle gamut(kLedRed, kLedGreen, kLedBlue);
+  return gamut;
+}
+
+}  // namespace colorbars::color

@@ -1,0 +1,71 @@
+#include "colorbars/color/lab.hpp"
+
+#include <cmath>
+
+namespace colorbars::color {
+
+namespace {
+
+constexpr double kEpsilon = 216.0 / 24389.0;  // (6/29)^3
+constexpr double kKappa = 24389.0 / 27.0;     // (29/3)^3
+
+double lab_f(double t) noexcept {
+  if (t > kEpsilon) return std::cbrt(t);
+  return (kKappa * t + 16.0) / 116.0;
+}
+
+double lab_f_inverse(double t) noexcept {
+  const double t3 = t * t * t;
+  if (t3 > kEpsilon) return t3;
+  return (116.0 * t - 16.0) / kKappa;
+}
+
+}  // namespace
+
+Lab xyz_to_lab(const XYZ& xyz) noexcept {
+  const XYZ white = d65_white_xyz();
+  const double fx = lab_f(xyz.x / white.x);
+  const double fy = lab_f(xyz.y / white.y);
+  const double fz = lab_f(xyz.z / white.z);
+  return {116.0 * fy - 16.0, 500.0 * (fx - fy), 200.0 * (fy - fz)};
+}
+
+XYZ lab_to_xyz(const Lab& lab) noexcept {
+  const XYZ white = d65_white_xyz();
+  const double fy = (lab.L + 16.0) / 116.0;
+  const double fx = fy + lab.a / 500.0;
+  const double fz = fy - lab.b / 200.0;
+  return {lab_f_inverse(fx) * white.x, lab_f_inverse(fy) * white.y,
+          lab_f_inverse(fz) * white.z};
+}
+
+double delta_e(const Lab& p, const Lab& q) noexcept {
+  const double dL = p.L - q.L;
+  const double da = p.a - q.a;
+  const double db = p.b - q.b;
+  return std::sqrt(dL * dL + da * da + db * db);
+}
+
+double delta_e_ab(const ChromaAB& p, const ChromaAB& q) noexcept {
+  const double da = p.a - q.a;
+  const double db = p.b - q.b;
+  return std::sqrt(da * da + db * db);
+}
+
+double delta_e_94(const Lab& reference, const Lab& sample) noexcept {
+  // Graphic-arts parameters: kL = kC = kH = 1, K1 = 0.045, K2 = 0.015.
+  const double dL = reference.L - sample.L;
+  const double c1 = std::hypot(reference.a, reference.b);
+  const double c2 = std::hypot(sample.a, sample.b);
+  const double dC = c1 - c2;
+  const double da = reference.a - sample.a;
+  const double db = reference.b - sample.b;
+  const double dH_sq = std::max(da * da + db * db - dC * dC, 0.0);
+  const double sC = 1.0 + 0.045 * c1;
+  const double sH = 1.0 + 0.015 * c1;
+  const double term_l = dL;
+  const double term_c = dC / sC;
+  return std::sqrt(term_l * term_l + term_c * term_c + dH_sq / (sH * sH));
+}
+
+}  // namespace colorbars::color

@@ -1,0 +1,52 @@
+#include "colorbars/color/srgb.hpp"
+
+#include <cmath>
+
+namespace colorbars::color {
+
+const Mat3& srgb_to_xyz_matrix() noexcept {
+  static const Mat3 m = rgb_to_xyz_matrix(kSrgbRed, kSrgbGreen, kSrgbBlue, kD65);
+  return m;
+}
+
+const Mat3& xyz_to_srgb_matrix() noexcept {
+  static const Mat3 m = srgb_to_xyz_matrix().inverse();
+  return m;
+}
+
+XYZ linear_srgb_to_xyz(const Vec3& rgb) noexcept { return srgb_to_xyz_matrix() * rgb; }
+
+Vec3 xyz_to_linear_srgb(const XYZ& xyz) noexcept { return xyz_to_srgb_matrix() * xyz; }
+
+double srgb_encode(double linear) noexcept {
+  if (linear <= 0.0031308) return 12.92 * linear;
+  return 1.055 * std::pow(linear, 1.0 / 2.4) - 0.055;
+}
+
+double srgb_decode(double encoded) noexcept {
+  if (encoded <= 0.04045) return encoded / 12.92;
+  return std::pow((encoded + 0.055) / 1.055, 2.4);
+}
+
+Vec3 srgb_encode(const Vec3& linear) noexcept {
+  const Vec3 clamped = linear.clamped(0.0, 1.0);
+  return {srgb_encode(clamped.x), srgb_encode(clamped.y), srgb_encode(clamped.z)};
+}
+
+Vec3 srgb_decode(const Vec3& encoded) noexcept {
+  return {srgb_decode(encoded.x), srgb_decode(encoded.y), srgb_decode(encoded.z)};
+}
+
+Rgb8 to_rgb8(const Vec3& encoded) noexcept {
+  const Vec3 clamped = encoded.clamped(0.0, 1.0);
+  auto q = [](double v) {
+    return static_cast<std::uint8_t>(std::lround(v * 255.0));
+  };
+  return {q(clamped.x), q(clamped.y), q(clamped.z)};
+}
+
+Vec3 from_rgb8(const Rgb8& pixel) noexcept {
+  return {pixel.r / 255.0, pixel.g / 255.0, pixel.b / 255.0};
+}
+
+}  // namespace colorbars::color

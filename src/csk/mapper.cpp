@@ -1,0 +1,87 @@
+#include "colorbars/csk/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "colorbars/util/bitio.hpp"
+
+namespace colorbars::csk {
+
+SymbolMapper::SymbolMapper(const Constellation& constellation)
+    : bits_(constellation.bits()) {
+  const int count = constellation.size();
+  label_of_symbol_.assign(static_cast<std::size_t>(count), 0);
+  symbol_of_label_.assign(static_cast<std::size_t>(count), 0);
+
+  // Build a nearest-neighbor chain through the constellation, starting at
+  // symbol 0, then assign binary-reflected Gray codes along the chain:
+  // consecutive chain entries (spatial neighbors) get labels at Hamming
+  // distance 1.
+  std::vector<bool> used(static_cast<std::size_t>(count), false);
+  std::vector<int> chain;
+  chain.reserve(static_cast<std::size_t>(count));
+  int current = 0;
+  used[0] = true;
+  chain.push_back(0);
+  for (int step = 1; step < count; ++step) {
+    int best = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (int candidate = 0; candidate < count; ++candidate) {
+      if (used[static_cast<std::size_t>(candidate)]) continue;
+      const double d = color::xy_distance(constellation.point(current),
+                                          constellation.point(candidate));
+      if (d < best_distance) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    used[static_cast<std::size_t>(best)] = true;
+    chain.push_back(best);
+    current = best;
+  }
+
+  for (int i = 0; i < count; ++i) {
+    const std::uint32_t label = gray_code(static_cast<std::uint32_t>(i));
+    const int symbol = chain[static_cast<std::size_t>(i)];
+    label_of_symbol_[static_cast<std::size_t>(symbol)] = label;
+    symbol_of_label_[static_cast<std::size_t>(label)] = symbol;
+  }
+}
+
+std::vector<int> SymbolMapper::map_bytes(std::span<const std::uint8_t> bytes) const {
+  const std::vector<std::uint32_t> groups = util::split_bits(bytes, bits_);
+  std::vector<int> symbols;
+  symbols.reserve(groups.size());
+  for (const std::uint32_t group : groups) symbols.push_back(symbol(group));
+  return symbols;
+}
+
+std::vector<std::uint8_t> SymbolMapper::unmap_symbols(std::span<const int> symbols,
+                                                      std::size_t byte_count) const {
+  std::vector<std::uint32_t> groups;
+  groups.reserve(symbols.size());
+  for (const int s : symbols) groups.push_back(label(s));
+  return util::join_bits(groups, bits_, byte_count);
+}
+
+double SymbolMapper::mean_neighbor_hamming(const Constellation& constellation) const {
+  const int count = constellation.size();
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) {
+    int nearest = -1;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < count; ++j) {
+      if (j == i) continue;
+      const double d =
+          color::xy_distance(constellation.point(i), constellation.point(j));
+      if (d < best_distance) {
+        best_distance = d;
+        nearest = j;
+      }
+    }
+    total += hamming(label(i), label(nearest));
+  }
+  return total / count;
+}
+
+}  // namespace colorbars::csk

@@ -1,0 +1,26 @@
+#include "colorbars/csk/modulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace colorbars::csk {
+
+LedDrive drive_for(const color::GamutTriangle& gamut, const color::Chromaticity& target) {
+  const color::Barycentric w = gamut.barycentric(target);
+  // Clamp tiny negative weights from floating-point noise at the gamut
+  // edge; genuinely out-of-gamut targets are a programming error.
+  constexpr double kTolerance = 1e-9;
+  if (w.min() < -kTolerance) {
+    throw std::invalid_argument("drive_for: target chromaticity outside the LED gamut");
+  }
+  auto clamp0 = [](double v) { return v < 0.0 ? 0.0 : v; };
+  return {clamp0(w.r), clamp0(w.g), clamp0(w.b)};
+}
+
+color::Chromaticity chromaticity_of(const color::GamutTriangle& gamut,
+                                    const LedDrive& drive) {
+  assert(drive.total() > 0.0);
+  return gamut.at({drive.red, drive.green, drive.blue});
+}
+
+}  // namespace colorbars::csk

@@ -1,0 +1,58 @@
+#include "colorbars/flicker/bloch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace colorbars::flicker {
+
+color::Lab radiance_to_lab(const led::Vec3& xyz, double adaptation_gain) {
+  if (xyz.sum() <= 0.0) return {0.0, 0.0, 0.0};
+  // Adaptation: a luminaire with peak tristimulus sum 1 has balanced
+  // white at Y ~ 0.35; the gain maps that toward the Lab reference white
+  // so JND thresholds apply at realistic perceived lightness.
+  const color::XYZ adapted = xyz * adaptation_gain;
+  return color::xyz_to_lab(adapted.clamped(0.0, 1.5));
+}
+
+BlochObserver::BlochObserver(ObserverConfig config) : config_(config) {
+  if (config_.critical_duration_s <= 0.0 || config_.scan_step_fraction <= 0.0 ||
+      config_.delta_e_threshold <= 0.0) {
+    throw std::invalid_argument("BlochObserver: config values must be positive");
+  }
+}
+
+color::Lab BlochObserver::perceived(const led::EmissionTrace& trace, double t0) const {
+  const led::Vec3 mean = trace.average(t0, t0 + config_.critical_duration_s);
+  return radiance_to_lab(mean);
+}
+
+FlickerReport BlochObserver::scan(const led::EmissionTrace& trace,
+                                  const color::Lab& reference_white) const {
+  FlickerReport report;
+  const double window = config_.critical_duration_s;
+  const double step = window * config_.scan_step_fraction;
+  const double last_start = trace.duration() - window;
+  if (last_start < 0.0) {
+    // Trace shorter than one critical duration: a single full-trace window.
+    const color::Lab lab = radiance_to_lab(trace.average(0.0, trace.duration()));
+    report.max_delta_e = report.mean_delta_e = color::delta_e(lab, reference_white);
+    report.windows_scanned = 1;
+  } else {
+    double total = 0.0;
+    int count = 0;
+    for (double t0 = 0.0; t0 <= last_start + 1e-12; t0 += step) {
+      const color::Lab lab = perceived(trace, t0);
+      const double deviation = color::delta_e(lab, reference_white);
+      report.max_delta_e = std::max(report.max_delta_e, deviation);
+      total += deviation;
+      ++count;
+    }
+    report.mean_delta_e = count > 0 ? total / count : 0.0;
+    report.windows_scanned = count;
+  }
+  report.perceptible = report.max_delta_e > config_.delta_e_threshold;
+  return report;
+}
+
+}  // namespace colorbars::flicker

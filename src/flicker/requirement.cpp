@@ -1,0 +1,94 @@
+#include "colorbars/flicker/requirement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "colorbars/protocol/illumination.hpp"
+#include "colorbars/protocol/symbols.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::flicker {
+
+namespace {
+
+/// Synthesizes the on-air trace for random data at the given white
+/// fraction, using the production illumination schedule so the solver
+/// measures exactly what the transmitter will emit.
+led::EmissionTrace synthesize_stream(const csk::Constellation& constellation,
+                                     const led::TriLed& led, double symbol_rate_hz,
+                                     double white_fraction, double duration_s,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const int total_symbols = static_cast<int>(std::ceil(duration_s * symbol_rate_hz));
+  const double data_ratio = 1.0 - white_fraction;
+
+  std::vector<protocol::ChannelSymbol> symbols;
+  symbols.reserve(static_cast<std::size_t>(total_symbols));
+  if (data_ratio <= 0.0) {
+    symbols.assign(static_cast<std::size_t>(total_symbols), protocol::ChannelSymbol::white());
+  } else {
+    const protocol::IlluminationSchedule schedule(data_ratio);
+    for (int slot = 0; slot < total_symbols; ++slot) {
+      if (schedule.is_white_slot(slot)) {
+        symbols.push_back(protocol::ChannelSymbol::white());
+      } else {
+        const int index = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(constellation.size())));
+        symbols.push_back(protocol::ChannelSymbol::data(index));
+      }
+    }
+  }
+  // Build the trace directly rather than through TriLed::emit so the
+  // sweep can exceed the BeagleBone-style hardware rate cap — Fig. 3b's
+  // flicker study is about the waveform, not one controller's limit.
+  const double symbol_duration = 1.0 / symbol_rate_hz;
+  led::EmissionTrace trace;
+  for (const protocol::ChannelSymbol& symbol : symbols) {
+    trace.append(symbol_duration, led.radiance(protocol::drive_of(symbol, constellation)));
+  }
+  return trace;
+}
+
+}  // namespace
+
+WhiteRequirement min_white_fraction(const csk::Constellation& constellation,
+                                    const led::TriLed& led, double symbol_rate_hz,
+                                    const RequirementConfig& config) {
+  const BlochObserver observer(config.observer);
+
+  WhiteRequirement requirement;
+  requirement.symbol_rate_hz = symbol_rate_hz;
+  for (double fraction = 0.0; fraction <= 1.0 + 1e-9; fraction += config.fraction_step) {
+    const double clamped = std::min(fraction, 1.0);
+    const led::EmissionTrace trace =
+        synthesize_stream(constellation, led, symbol_rate_hz, clamped,
+                          config.stream_duration_s, config.seed);
+    // Flicker is *temporal variation*: each window is compared against
+    // the stream's own long-run mean color. (The constellation mean sits
+    // a constant few-ΔE tint from exact white; that steady offset is not
+    // flicker and the eye adapts it away.)
+    const color::Lab reference =
+        radiance_to_lab(trace.average(0.0, trace.duration()));
+    const FlickerReport report = observer.scan(trace, reference);
+    if (!report.perceptible) {
+      requirement.min_white_fraction = clamped;
+      requirement.max_delta_e_at_min = report.max_delta_e;
+      return requirement;
+    }
+  }
+  requirement.min_white_fraction = 1.0;
+  return requirement;
+}
+
+std::vector<WhiteRequirement> white_requirement_curve(
+    const csk::Constellation& constellation, const led::TriLed& led,
+    const std::vector<double>& symbol_rates_hz, const RequirementConfig& config) {
+  std::vector<WhiteRequirement> curve;
+  curve.reserve(symbol_rates_hz.size());
+  for (const double rate : symbol_rates_hz) {
+    curve.push_back(min_white_fraction(constellation, led, rate, config));
+  }
+  return curve;
+}
+
+}  // namespace colorbars::flicker

@@ -1,0 +1,78 @@
+#include "colorbars/gf/gf256.hpp"
+
+#include <cassert>
+
+namespace colorbars::gf {
+
+namespace {
+
+struct Tables {
+  // exp_ is doubled so products of logs index without a modulo.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  Tables() noexcept {
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100u) x ^= kPrimitivePoly;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+    log[0] = 0;  // never read: multiplication by zero short-circuits
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+GF256 operator*(GF256 a, GF256 b) noexcept {
+  if (a.is_zero() || b.is_zero()) return kZero;
+  const auto& t = tables();
+  const int sum = t.log[a.value()] + t.log[b.value()];
+  return GF256(t.exp[static_cast<std::size_t>(sum)]);
+}
+
+GF256 operator/(GF256 a, GF256 b) noexcept {
+  assert(!b.is_zero());
+  if (a.is_zero()) return kZero;
+  const auto& t = tables();
+  const int diff = t.log[a.value()] - t.log[b.value()] + 255;
+  return GF256(t.exp[static_cast<std::size_t>(diff)]);
+}
+
+GF256 GF256::inverse() const noexcept {
+  assert(!is_zero());
+  const auto& t = tables();
+  return GF256(t.exp[static_cast<std::size_t>(255 - t.log[value_])]);
+}
+
+GF256 GF256::pow(int exponent) const noexcept {
+  if (exponent == 0) return kOne;
+  if (is_zero()) return kZero;
+  const auto& t = tables();
+  long long e = static_cast<long long>(t.log[value_]) * exponent;
+  e %= 255;
+  if (e < 0) e += 255;
+  return GF256(t.exp[static_cast<std::size_t>(e)]);
+}
+
+GF256 alpha_pow(int n) noexcept {
+  int e = n % 255;
+  if (e < 0) e += 255;
+  return GF256(tables().exp[static_cast<std::size_t>(e)]);
+}
+
+int alpha_log(GF256 v) noexcept {
+  assert(!v.is_zero());
+  return tables().log[v.value()];
+}
+
+}  // namespace colorbars::gf

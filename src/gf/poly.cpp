@@ -1,0 +1,109 @@
+#include "colorbars/gf/poly.hpp"
+
+#include <cassert>
+
+namespace colorbars::gf {
+
+Poly::Poly(std::vector<GF256> coefficients) noexcept : coeffs_(std::move(coefficients)) {
+  trim();
+}
+
+Poly::Poly(std::initializer_list<GF256> coefficients) : coeffs_(coefficients) { trim(); }
+
+Poly Poly::monomial(GF256 c, std::size_t degree) {
+  if (c.is_zero()) return Poly{};
+  std::vector<GF256> coeffs(degree + 1, kZero);
+  coeffs[degree] = c;
+  return Poly(std::move(coeffs));
+}
+
+void Poly::trim() noexcept {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+GF256 Poly::eval(GF256 x) const noexcept {
+  GF256 acc = kZero;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * x + *it;
+  }
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (coeffs_.size() <= 1) return Poly{};
+  std::vector<GF256> out(coeffs_.size() - 1, kZero);
+  // d/dx sum c_i x^i = sum i*c_i x^(i-1); in GF(2^m), i*c_i is c_i when i
+  // is odd and 0 when i is even.
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    out[i - 1] = (i % 2 == 1) ? coeffs_[i] : kZero;
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::scaled(GF256 s) const {
+  std::vector<GF256> out = coeffs_;
+  for (auto& c : out) c *= s;
+  return Poly(std::move(out));
+}
+
+Poly Poly::shifted(std::size_t n) const {
+  if (is_zero()) return Poly{};
+  std::vector<GF256> out(coeffs_.size() + n, kZero);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i + n] = coeffs_[i];
+  return Poly(std::move(out));
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  std::vector<GF256> out(std::max(a.coeffs_.size(), b.coeffs_.size()), kZero);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a.coeff(i) + b.coeff(i);
+  }
+  return Poly(std::move(out));
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  std::vector<GF256> out(a.coeffs_.size() + b.coeffs_.size() - 1, kZero);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    if (a.coeffs_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      out[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Poly(std::move(out));
+}
+
+std::pair<Poly, Poly> Poly::divmod(const Poly& dividend, const Poly& divisor) {
+  assert(!divisor.is_zero());
+  if (dividend.degree() < divisor.degree()) return {Poly{}, dividend};
+
+  std::vector<GF256> remainder = dividend.coeffs_;
+  std::vector<GF256> quotient(
+      static_cast<std::size_t>(dividend.degree() - divisor.degree()) + 1, kZero);
+  const GF256 lead_inv = divisor.leading().inverse();
+
+  for (int d = dividend.degree(); d >= divisor.degree();) {
+    const std::size_t shift = static_cast<std::size_t>(d - divisor.degree());
+    const GF256 factor = remainder[static_cast<std::size_t>(d)] * lead_inv;
+    quotient[shift] = factor;
+    for (std::size_t i = 0; i < divisor.coeffs_.size(); ++i) {
+      remainder[shift + i] -= factor * divisor.coeffs_[i];
+    }
+    // The leading term was cancelled; find the new degree.
+    --d;
+    while (d >= 0 && remainder[static_cast<std::size_t>(d)].is_zero()) --d;
+  }
+  remainder.resize(static_cast<std::size_t>(divisor.degree() < 0 ? 0 : divisor.degree()),
+                   kZero);
+  return {Poly(std::move(quotient)), Poly(std::move(remainder))};
+}
+
+Poly rs_generator_poly(std::size_t count, int first_root) {
+  Poly g{kOne};
+  for (std::size_t i = 0; i < count; ++i) {
+    g = g * Poly{alpha_pow(first_root + static_cast<int>(i)), kOne};
+  }
+  return g;
+}
+
+}  // namespace colorbars::gf

@@ -1,0 +1,57 @@
+#include "colorbars/led/emission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colorbars::led {
+
+void EmissionTrace::append(double duration_s, const Vec3& rgb) {
+  if (duration_s <= 0.0) return;
+  start_times_.push_back(total_duration_);
+  segments_.push_back({duration_s, rgb});
+  total_duration_ += duration_s;
+}
+
+void EmissionTrace::append(const EmissionTrace& other) {
+  for (const EmissionSegment& segment : other.segments_) {
+    append(segment.duration_s, segment.rgb);
+  }
+}
+
+std::size_t EmissionTrace::segment_at(double t) const noexcept {
+  // upper_bound finds the first segment starting after t; the one before
+  // it contains t.
+  const auto it = std::upper_bound(start_times_.begin(), start_times_.end(), t);
+  if (it == start_times_.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(start_times_.begin(), it)) - 1;
+}
+
+Vec3 EmissionTrace::sample(double t) const noexcept {
+  if (segments_.empty()) return {};
+  if (t <= 0.0) return segments_.front().rgb;
+  if (t >= total_duration_) return segments_.back().rgb;
+  return segments_[segment_at(t)].rgb;
+}
+
+Vec3 EmissionTrace::average(double t0, double t1) const noexcept {
+  if (t1 <= t0 || segments_.empty()) return {};
+  const double window = t1 - t0;
+  // Clip to the trace extent; outside it the LED is dark.
+  const double lo = std::max(t0, 0.0);
+  const double hi = std::min(t1, total_duration_);
+  if (hi <= lo) return {};
+
+  Vec3 integral;
+  std::size_t index = segment_at(lo);
+  double cursor = lo;
+  while (cursor < hi && index < segments_.size()) {
+    const double segment_end = start_times_[index] + segments_[index].duration_s;
+    const double slice_end = std::min(segment_end, hi);
+    integral += segments_[index].rgb * (slice_end - cursor);
+    cursor = slice_end;
+    ++index;
+  }
+  return integral / window;
+}
+
+}  // namespace colorbars::led

@@ -1,0 +1,35 @@
+#include "colorbars/led/tri_led.hpp"
+
+namespace colorbars::led {
+
+Vec3 TriLed::radiance(const csk::LedDrive& drive) const noexcept {
+  // Each emitter's PWM duty cycle sets its share of the total emitted
+  // tristimulus sum: a primary at chromaticity (x, y) contributes the
+  // XYZ direction (x, y, 1-x-y), which has unit X+Y+Z. Mixing shares
+  // proportional to the barycentric weights therefore lands exactly on
+  // the target chromaticity, and every fully-driven symbol
+  // (total duty == 1) emits the same total tristimulus power.
+  auto unit_xyz = [](const color::Chromaticity& c) {
+    return Vec3{c.x, c.y, 1.0 - c.x - c.y};
+  };
+  const auto& gamut = config_.gamut;
+  const Vec3 xyz = unit_xyz(gamut.red()) * drive.red +
+                   unit_xyz(gamut.green()) * drive.green +
+                   unit_xyz(gamut.blue()) * drive.blue;
+  return xyz * config_.peak_radiance;
+}
+
+EmissionTrace TriLed::emit(std::span<const csk::LedDrive> drives,
+                           double symbol_rate_hz) const {
+  if (!supports_rate(symbol_rate_hz)) {
+    throw std::invalid_argument("TriLed::emit: symbol rate outside hardware capability");
+  }
+  const double symbol_duration = 1.0 / symbol_rate_hz;
+  EmissionTrace trace;
+  for (const csk::LedDrive& drive : drives) {
+    trace.append(symbol_duration, radiance(drive));
+  }
+  return trace;
+}
+
+}  // namespace colorbars::led

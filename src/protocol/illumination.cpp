@@ -1,0 +1,63 @@
+#include "colorbars/protocol/illumination.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace colorbars::protocol {
+
+IlluminationSchedule::IlluminationSchedule(double data_ratio) : data_ratio_(data_ratio) {
+  if (!(data_ratio > 0.0) || data_ratio > 1.0) {
+    throw std::invalid_argument("IlluminationSchedule: data ratio must be in (0, 1]");
+  }
+}
+
+bool IlluminationSchedule::is_white_slot(int slot_index) const noexcept {
+  // Slot s carries data iff the cumulative data count increases at s:
+  // floor((s+1) * phi) > floor(s * phi). This is the Bresenham spread —
+  // data and white slots are both distributed as evenly as possible.
+  const auto data_before = static_cast<long long>(std::floor(slot_index * data_ratio_));
+  const auto data_after = static_cast<long long>(std::floor((slot_index + 1) * data_ratio_));
+  return data_after == data_before;
+}
+
+int IlluminationSchedule::slots_for_data(int data_count) const noexcept {
+  if (data_count <= 0) return 0;
+  // Smallest s with data_in_slots(s) == data_count.
+  int slots = static_cast<int>(std::ceil(data_count / data_ratio_));
+  while (data_in_slots(slots) < data_count) ++slots;
+  while (slots > 0 && data_in_slots(slots - 1) >= data_count) --slots;
+  return slots;
+}
+
+int IlluminationSchedule::data_in_slots(int slot_count) const noexcept {
+  if (slot_count <= 0) return 0;
+  return static_cast<int>(std::floor(slot_count * data_ratio_));
+}
+
+std::vector<ChannelSymbol> IlluminationSchedule::insert_white(
+    std::span<const ChannelSymbol> data_symbols) const {
+  std::vector<ChannelSymbol> out;
+  const int total_slots = slots_for_data(static_cast<int>(data_symbols.size()));
+  out.reserve(static_cast<std::size_t>(total_slots));
+  std::size_t next_data = 0;
+  for (int slot = 0; slot < total_slots; ++slot) {
+    if (is_white_slot(slot)) {
+      out.push_back(ChannelSymbol::white());
+    } else {
+      out.push_back(data_symbols[next_data++]);
+    }
+  }
+  return out;
+}
+
+std::vector<ChannelSymbol> IlluminationSchedule::strip_white(
+    std::span<const ChannelSymbol> payload_slots) const {
+  std::vector<ChannelSymbol> out;
+  out.reserve(payload_slots.size());
+  for (std::size_t slot = 0; slot < payload_slots.size(); ++slot) {
+    if (!is_white_slot(static_cast<int>(slot))) out.push_back(payload_slots[slot]);
+  }
+  return out;
+}
+
+}  // namespace colorbars::protocol

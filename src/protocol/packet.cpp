@@ -1,0 +1,83 @@
+#include "colorbars/protocol/packet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colorbars::protocol {
+
+namespace {
+
+std::vector<ChannelSymbol> make_ow_pattern(int off_count) {
+  // Alternating OFF/WHITE starting and ending with OFF:
+  // off_count OFFs and off_count-1 WHITEs.
+  std::vector<ChannelSymbol> out;
+  out.reserve(static_cast<std::size_t>(2 * off_count - 1));
+  for (int i = 0; i < off_count; ++i) {
+    if (i > 0) out.push_back(ChannelSymbol::white());
+    out.push_back(ChannelSymbol::off());
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ChannelSymbol>& delimiter_sequence() {
+  static const std::vector<ChannelSymbol> seq = make_ow_pattern(2);  // o w o
+  return seq;
+}
+
+const std::vector<ChannelSymbol>& data_flag_sequence() {
+  static const std::vector<ChannelSymbol> seq = make_ow_pattern(3);  // o w o w o
+  return seq;
+}
+
+const std::vector<ChannelSymbol>& calibration_flag_sequence() {
+  static const std::vector<ChannelSymbol> seq = make_ow_pattern(4);  // o w o w o w o
+  return seq;
+}
+
+const std::vector<ChannelSymbol>& reversed_calibration_flag_sequence() {
+  static const std::vector<ChannelSymbol> seq = make_ow_pattern(5);  // o w o w o w o w o
+  return seq;
+}
+
+const std::vector<ChannelSymbol>& rotated_calibration_flag_sequence() {
+  static const std::vector<ChannelSymbol> seq = make_ow_pattern(6);
+  return seq;
+}
+
+int size_field_symbols(csk::CskOrder order) noexcept {
+  const int bits = csk::bits_per_symbol(order);
+  return (kSizeFieldBits + bits - 1) / bits;
+}
+
+std::vector<ChannelSymbol> encode_size_field(int payload_symbol_count,
+                                             csk::CskOrder order) {
+  const int max_value = (1 << kSizeFieldBits) - 1;
+  int value = std::clamp(payload_symbol_count, 0, max_value);
+  const int base = csk::symbol_count(order);
+  const int digits = size_field_symbols(order);
+  std::vector<ChannelSymbol> out(static_cast<std::size_t>(digits));
+  for (int i = digits - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = ChannelSymbol::data(value % base);
+    value /= base;
+  }
+  return out;
+}
+
+std::optional<int> decode_size_field(std::span<const ChannelSymbol> symbols,
+                                     csk::CskOrder order) {
+  const int base = csk::symbol_count(order);
+  if (static_cast<int>(symbols.size()) != size_field_symbols(order)) return std::nullopt;
+  long long value = 0;
+  for (const ChannelSymbol& s : symbols) {
+    if (s.kind != SymbolKind::kData || s.data_index < 0 || s.data_index >= base) {
+      return std::nullopt;
+    }
+    value = value * base + s.data_index;
+  }
+  if (value > (1 << kSizeFieldBits) - 1) return std::nullopt;
+  return static_cast<int>(value);
+}
+
+}  // namespace colorbars::protocol

@@ -1,0 +1,88 @@
+#include "colorbars/protocol/packetizer.hpp"
+
+namespace colorbars::protocol {
+
+Packetizer::Packetizer(FrameFormat format, const csk::Constellation& constellation)
+    : format_(format),
+      mapper_(constellation),
+      schedule_(format.illumination_ratio) {}
+
+int Packetizer::symbols_for_bytes(int byte_count) const noexcept {
+  const int bits = mapper_.bits();
+  return (byte_count * 8 + bits - 1) / bits;
+}
+
+std::vector<ChannelSymbol> Packetizer::build_data_packet(
+    std::span<const std::uint8_t> coded_payload) const {
+  const std::vector<int> payload_indices = mapper_.map_bytes(coded_payload);
+
+  std::vector<ChannelSymbol> payload;
+  payload.reserve(payload_indices.size());
+  for (const int index : payload_indices) payload.push_back(ChannelSymbol::data(index));
+
+  std::vector<ChannelSymbol> packet;
+  const auto& delimiter = delimiter_sequence();
+  const auto& flag = data_flag_sequence();
+  const std::vector<ChannelSymbol> size_field =
+      encode_size_field(static_cast<int>(payload.size()), format_.order);
+  const std::vector<ChannelSymbol> slots = schedule_.insert_white(payload);
+
+  packet.reserve(delimiter.size() + flag.size() + size_field.size() + slots.size());
+  packet.insert(packet.end(), delimiter.begin(), delimiter.end());
+  packet.insert(packet.end(), flag.begin(), flag.end());
+  packet.insert(packet.end(), size_field.begin(), size_field.end());
+  packet.insert(packet.end(), slots.begin(), slots.end());
+  return packet;
+}
+
+std::vector<ChannelSymbol> Packetizer::build_calibration_packet() const {
+  std::vector<ChannelSymbol> packet;
+  const auto& delimiter = delimiter_sequence();
+  const auto& flag = calibration_flag_sequence();
+  const int count = mapper_.symbol_count();
+  packet.reserve(delimiter.size() + flag.size() + static_cast<std::size_t>(count));
+  packet.insert(packet.end(), delimiter.begin(), delimiter.end());
+  packet.insert(packet.end(), flag.begin(), flag.end());
+  for (int index = 0; index < count; ++index) {
+    packet.push_back(ChannelSymbol::data(index));
+  }
+  return packet;
+}
+
+std::vector<ChannelSymbol> Packetizer::build_reversed_calibration_packet() const {
+  std::vector<ChannelSymbol> packet;
+  const auto& delimiter = delimiter_sequence();
+  const auto& flag = reversed_calibration_flag_sequence();
+  const int count = mapper_.symbol_count();
+  packet.reserve(delimiter.size() + flag.size() + static_cast<std::size_t>(count));
+  packet.insert(packet.end(), delimiter.begin(), delimiter.end());
+  packet.insert(packet.end(), flag.begin(), flag.end());
+  for (int index = count - 1; index >= 0; --index) {
+    packet.push_back(ChannelSymbol::data(index));
+  }
+  return packet;
+}
+
+std::vector<ChannelSymbol> Packetizer::build_rotated_calibration_packet() const {
+  std::vector<ChannelSymbol> packet;
+  const auto& delimiter = delimiter_sequence();
+  const auto& flag = rotated_calibration_flag_sequence();
+  const int count = mapper_.symbol_count();
+  packet.reserve(delimiter.size() + flag.size() + static_cast<std::size_t>(count));
+  packet.insert(packet.end(), delimiter.begin(), delimiter.end());
+  packet.insert(packet.end(), flag.begin(), flag.end());
+  for (int offset = 0; offset < count; ++offset) {
+    packet.push_back(ChannelSymbol::data((count / 2 + offset) % count));
+  }
+  return packet;
+}
+
+int Packetizer::data_packet_slots(int byte_count) const noexcept {
+  const int payload_symbols = symbols_for_bytes(byte_count);
+  const int overhead = static_cast<int>(delimiter_sequence().size() +
+                                        data_flag_sequence().size()) +
+                       size_field_symbols(format_.order);
+  return overhead + schedule_.slots_for_data(payload_symbols);
+}
+
+}  // namespace colorbars::protocol

@@ -1,0 +1,27 @@
+#include "colorbars/protocol/symbols.hpp"
+
+namespace colorbars::protocol {
+
+csk::LedDrive drive_of(const ChannelSymbol& symbol, const csk::Constellation& constellation) {
+  switch (symbol.kind) {
+    case SymbolKind::kOff:
+      return csk::off_drive();
+    case SymbolKind::kWhite:
+      return csk::white_drive();
+    case SymbolKind::kData:
+      return csk::drive_for(constellation.gamut(), constellation.point(symbol.data_index));
+  }
+  return csk::off_drive();
+}
+
+std::vector<csk::LedDrive> drives_of(const std::vector<ChannelSymbol>& symbols,
+                                     const csk::Constellation& constellation) {
+  std::vector<csk::LedDrive> drives;
+  drives.reserve(symbols.size());
+  for (const ChannelSymbol& symbol : symbols) {
+    drives.push_back(drive_of(symbol, constellation));
+  }
+  return drives;
+}
+
+}  // namespace colorbars::protocol

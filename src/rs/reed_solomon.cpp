@@ -1,0 +1,272 @@
+#include "colorbars/rs/reed_solomon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "colorbars/gf/gf256.hpp"
+#include "colorbars/gf/poly.hpp"
+
+namespace colorbars::rs {
+
+using gf::alpha_pow;
+using gf::GF256;
+using gf::kOne;
+using gf::kZero;
+using gf::Poly;
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  if (n <= 0 || n > 255 || k <= 0 || k >= n) {
+    throw std::invalid_argument("ReedSolomon: require 0 < k < n <= 255");
+  }
+  const Poly g = gf::rs_generator_poly(static_cast<std::size_t>(n - k));
+  generator_.reserve(g.coefficients().size());
+  for (const GF256 c : g.coefficients()) generator_.push_back(c.value());
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> message) const {
+  if (static_cast<int>(message.size()) != k_) {
+    throw std::invalid_argument("ReedSolomon::encode: message size must equal k");
+  }
+  const int parity = parity_count();
+  // Systematic encoding: parity = remainder of message * x^(n-k) divided
+  // by the generator polynomial, computed with an LFSR-style loop.
+  std::vector<std::uint8_t> remainder(static_cast<std::size_t>(parity), 0);
+  for (const std::uint8_t byte : message) {
+    const GF256 feedback = GF256(byte) + GF256(remainder[0]);
+    // Shift left by one position.
+    for (int i = 0; i < parity - 1; ++i) {
+      remainder[static_cast<std::size_t>(i)] = remainder[static_cast<std::size_t>(i) + 1];
+    }
+    remainder[static_cast<std::size_t>(parity - 1)] = 0;
+    if (!feedback.is_zero()) {
+      for (int i = 0; i < parity; ++i) {
+        // generator_ is low-first with degree `parity`; coefficient of
+        // x^(parity-1-i) multiplies the feedback into remainder slot i.
+        const GF256 g_coeff = GF256(generator_[static_cast<std::size_t>(parity - 1 - i)]);
+        remainder[static_cast<std::size_t>(i)] =
+            (GF256(remainder[static_cast<std::size_t>(i)]) + feedback * g_coeff).value();
+      }
+    }
+  }
+  std::vector<std::uint8_t> codeword(message.begin(), message.end());
+  codeword.insert(codeword.end(), remainder.begin(), remainder.end());
+  return codeword;
+}
+
+DecodeResult ReedSolomon::decode(std::span<const std::uint8_t> codeword) const {
+  return decode(codeword, std::span<const int>{});
+}
+
+DecodeResult ReedSolomon::decode(std::span<const std::uint8_t> codeword,
+                                 std::span<const int> erasure_positions) const {
+  DecodeResult result;
+  if (static_cast<int>(codeword.size()) != n_) {
+    result.status = DecodeStatus::kMalformedInput;
+    return result;
+  }
+  for (const int pos : erasure_positions) {
+    if (pos < 0 || pos >= n_) {
+      result.status = DecodeStatus::kMalformedInput;
+      return result;
+    }
+  }
+  const int parity = parity_count();
+  if (static_cast<int>(erasure_positions.size()) > parity) {
+    result.status = DecodeStatus::kTooManyErrors;
+    return result;
+  }
+
+  // Work in "polynomial position" space: codeword byte i (message-first)
+  // is the coefficient of x^(n-1-i), so received poly R(x) has
+  // R[j] = codeword[n-1-j].
+  std::vector<GF256> received(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    received[static_cast<std::size_t>(n_ - 1 - i)] = GF256(codeword[static_cast<std::size_t>(i)]);
+  }
+  // Zero out erased positions so their (garbage) values cannot corrupt
+  // the syndromes beyond what the erasure locators account for.
+  for (const int pos : erasure_positions) {
+    received[static_cast<std::size_t>(n_ - 1 - pos)] = kZero;
+  }
+
+  // Syndromes S_j = R(alpha^j), j = 0 .. parity-1.
+  const Poly received_poly{std::vector<GF256>(received)};
+  std::vector<GF256> syndromes(static_cast<std::size_t>(parity));
+  bool all_zero = true;
+  for (int j = 0; j < parity; ++j) {
+    syndromes[static_cast<std::size_t>(j)] = received_poly.eval(alpha_pow(j));
+    if (!syndromes[static_cast<std::size_t>(j)].is_zero()) all_zero = false;
+  }
+
+  auto extract_message = [&](const std::vector<GF256>& poly_coeffs) {
+    std::vector<std::uint8_t> message(static_cast<std::size_t>(k_));
+    for (int i = 0; i < k_; ++i) {
+      message[static_cast<std::size_t>(i)] =
+          poly_coeffs[static_cast<std::size_t>(n_ - 1 - i)].value();
+    }
+    return message;
+  };
+
+  if (all_zero && erasure_positions.empty()) {
+    result.status = DecodeStatus::kOk;
+    result.message = extract_message(received);
+    return result;
+  }
+
+  // Erasure locator polynomial: product over erasures of (1 - X_e x),
+  // where X_e = alpha^(position in polynomial space).
+  Poly erasure_locator{kOne};
+  for (const int pos : erasure_positions) {
+    const GF256 locator = alpha_pow(n_ - 1 - pos);
+    erasure_locator = erasure_locator * Poly{kOne, locator};
+  }
+
+  // Modified syndrome polynomial Xi(x) = Lambda_e(x) * S(x) mod x^parity.
+  const Poly syndrome_poly{std::vector<GF256>(syndromes)};
+  Poly modified = erasure_locator * syndrome_poly;
+  {
+    std::vector<GF256> truncated(static_cast<std::size_t>(parity), kZero);
+    for (int i = 0; i < parity; ++i) truncated[static_cast<std::size_t>(i)] = modified.coeff(
+        static_cast<std::size_t>(i));
+    modified = Poly(std::move(truncated));
+  }
+
+  // Berlekamp-Massey on the modified syndromes finds the error locator
+  // for the unlocated errors.
+  const int erasure_count = static_cast<int>(erasure_positions.size());
+  Poly error_locator{kOne};
+  {
+    Poly current{kOne};
+    Poly previous{kOne};
+    int l = 0;  // current LFSR length
+    int m = 1;  // steps since previous update
+    GF256 prev_discrepancy = kOne;
+    const int rounds = parity - erasure_count;
+    for (int step = 0; step < rounds; ++step) {
+      const int idx = step + erasure_count;
+      GF256 discrepancy = modified.coeff(static_cast<std::size_t>(idx));
+      for (int i = 1; i <= l; ++i) {
+        discrepancy += current.coeff(static_cast<std::size_t>(i)) *
+                       modified.coeff(static_cast<std::size_t>(idx - i));
+      }
+      if (discrepancy.is_zero()) {
+        ++m;
+      } else if (2 * l <= step) {
+        const Poly saved = current;
+        const GF256 factor = discrepancy / prev_discrepancy;
+        current = current + previous.scaled(factor).shifted(static_cast<std::size_t>(m));
+        previous = saved;
+        l = step + 1 - l;
+        prev_discrepancy = discrepancy;
+        m = 1;
+      } else {
+        const GF256 factor = discrepancy / prev_discrepancy;
+        current = current + previous.scaled(factor).shifted(static_cast<std::size_t>(m));
+        ++m;
+      }
+    }
+    error_locator = current;
+    if (2 * l > parity - erasure_count) {
+      result.status = DecodeStatus::kTooManyErrors;
+      return result;
+    }
+  }
+
+  // Combined locator covers both declared erasures and found errors.
+  const Poly combined_locator = error_locator * erasure_locator;
+  const int total_errors = combined_locator.degree();
+  if (total_errors < 0) {
+    // No errors beyond (possibly zero-valued) erasures; fall through with
+    // an empty root set handled below.
+  }
+
+  // Chien search: roots of the combined locator give error positions.
+  std::vector<int> error_positions;  // polynomial-space positions
+  for (int pos = 0; pos < n_; ++pos) {
+    const GF256 x_inv = alpha_pow(-pos);
+    if (combined_locator.eval(x_inv).is_zero()) {
+      error_positions.push_back(pos);
+    }
+  }
+  if (static_cast<int>(error_positions.size()) != total_errors) {
+    // Locator degree does not match root count: decoding failure.
+    result.status = DecodeStatus::kTooManyErrors;
+    return result;
+  }
+
+  // Error evaluator Omega(x) = S(x) * Lambda(x) mod x^parity, using the
+  // *unmodified* syndromes with the combined locator.
+  Poly omega = syndrome_poly * combined_locator;
+  {
+    std::vector<GF256> truncated(static_cast<std::size_t>(parity), kZero);
+    for (int i = 0; i < parity; ++i) truncated[static_cast<std::size_t>(i)] = omega.coeff(
+        static_cast<std::size_t>(i));
+    omega = Poly(std::move(truncated));
+  }
+  const Poly locator_derivative = combined_locator.derivative();
+
+  // Forney's algorithm: magnitude at position p is
+  //   e_p = - X_p^(1-b) * Omega(X_p^-1) / Lambda'(X_p^-1)
+  // (sign irrelevant in GF(2^m)); with first consecutive root b = 0 the
+  // leading factor is X_p itself.
+  std::vector<GF256> corrected = received;
+  for (const int pos : error_positions) {
+    const GF256 x_inv = alpha_pow(-pos);
+    const GF256 denominator = locator_derivative.eval(x_inv);
+    if (denominator.is_zero()) {
+      result.status = DecodeStatus::kTooManyErrors;
+      return result;
+    }
+    const GF256 magnitude = alpha_pow(pos) * omega.eval(x_inv) / denominator;
+    corrected[static_cast<std::size_t>(pos)] += magnitude;
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  const Poly corrected_poly{std::vector<GF256>(corrected)};
+  for (int j = 0; j < parity; ++j) {
+    if (!corrected_poly.eval(alpha_pow(j)).is_zero()) {
+      result.status = DecodeStatus::kTooManyErrors;
+      return result;
+    }
+  }
+
+  // Count how many of the repaired positions were declared erasures.
+  int erased_repairs = 0;
+  for (const int pos : error_positions) {
+    const int byte_index = n_ - 1 - pos;
+    if (std::find(erasure_positions.begin(), erasure_positions.end(), byte_index) !=
+        erasure_positions.end()) {
+      ++erased_repairs;
+    }
+  }
+
+  result.status = DecodeStatus::kOk;
+  result.message = extract_message(corrected);
+  result.corrected_erasures = erased_repairs;
+  result.corrected_errors = static_cast<int>(error_positions.size()) - erased_repairs;
+  return result;
+}
+
+CodeParameters derive_code_parameters(double symbol_rate, double frame_rate,
+                                      double loss_ratio, int bits_per_symbol,
+                                      double illumination_ratio) {
+  if (symbol_rate <= 0 || frame_rate <= 0 || loss_ratio < 0 || loss_ratio >= 1 ||
+      bits_per_symbol <= 0 || illumination_ratio <= 0 || illumination_ratio > 1) {
+    throw std::invalid_argument("derive_code_parameters: invalid link parameters");
+  }
+  const double symbols_per_frame = symbol_rate / frame_rate;       // Fs + Ls
+  const double lost_symbols = loss_ratio * symbols_per_frame;      // Ls
+  const double n_bits = illumination_ratio * bits_per_symbol * symbols_per_frame;
+  const double parity_bits = 2.0 * illumination_ratio * bits_per_symbol * lost_symbols;
+
+  int n = static_cast<int>(std::floor(n_bits / 8.0 + 1e-9));
+  // Parity bytes rounded *up* so the code never under-protects the gap
+  // (with an epsilon so exact multiples of 8 don't round to an extra byte).
+  int parity = static_cast<int>(std::ceil(parity_bits / 8.0 - 1e-9));
+  n = std::clamp(n, 3, 255);
+  parity = std::clamp(parity, 2, n - 1);
+  return {n, n - parity};
+}
+
+}  // namespace colorbars::rs

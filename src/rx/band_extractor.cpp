@@ -1,0 +1,133 @@
+#include "colorbars/rx/band_extractor.hpp"
+
+#include <cmath>
+
+#include "colorbars/color/srgb.hpp"
+
+namespace colorbars::rx {
+
+std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
+  std::vector<ScanlineColor> scanlines(static_cast<std::size_t>(frame.rows));
+  for (int r = 0; r < frame.rows; ++r) {
+    double sum_l = 0.0;
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    util::Vec3 sum_rgb;
+    for (int c = 0; c < frame.columns; ++c) {
+      const util::Vec3 encoded = color::from_rgb8(frame.at(r, c));
+      const color::XYZ xyz = color::linear_srgb_to_xyz(color::srgb_decode(encoded));
+      const color::Lab lab = color::xyz_to_lab(xyz);
+      sum_l += lab.L;
+      sum_a += lab.a;
+      sum_b += lab.b;
+      sum_rgb += encoded;
+    }
+    const double inv = 1.0 / frame.columns;
+    scanlines[static_cast<std::size_t>(r)] = {{sum_a * inv, sum_b * inv}, sum_l * inv,
+                                              sum_rgb * inv};
+  }
+  return scanlines;
+}
+
+std::vector<Band> segment_bands(const camera::Frame& frame,
+                                const std::vector<ScanlineColor>& scanlines,
+                                const ExtractorConfig& config) {
+  std::vector<Band> bands;
+  if (scanlines.empty()) return bands;
+
+  // Effective sample time of row r: its readout instant minus half the
+  // exposure window (the centroid of the light it integrated).
+  auto row_time = [&](int r) {
+    return frame.start_time_s + (r + 1) * frame.row_time_s - 0.5 * frame.exposure_s;
+  };
+
+  Band current;
+  current.start_row = 0;
+  current.row_count = 1;
+  current.chroma = scanlines[0].chroma;
+  current.lightness = scanlines[0].lightness;
+  current.rgb = scanlines[0].rgb;
+
+  auto flush = [&]() {
+    if (current.row_count < config.min_band_rows) return;
+    // Re-measure the band's color from its interior rows only: the rows
+    // near a band boundary integrate light from both neighboring symbols
+    // (exposure blur plus demosaic bleed), and including them skews the
+    // band mean — which would contaminate both calibration references
+    // and data matching.
+    if (current.row_count >= 8) {
+      const int trim = current.row_count / 4;
+      const int first = current.start_row + trim;
+      const int last = current.start_row + current.row_count - trim;
+      double sum_a = 0.0;
+      double sum_b = 0.0;
+      double sum_l = 0.0;
+      util::Vec3 sum_rgb;
+      for (int r = first; r < last; ++r) {
+        const ScanlineColor& line = scanlines[static_cast<std::size_t>(r)];
+        sum_a += line.chroma.a;
+        sum_b += line.chroma.b;
+        sum_l += line.lightness;
+        sum_rgb += line.rgb;
+      }
+      const double inv = 1.0 / (last - first);
+      current.chroma = {sum_a * inv, sum_b * inv};
+      current.lightness = sum_l * inv;
+      current.rgb = sum_rgb * inv;
+    }
+    current.start_time_s = row_time(current.start_row);
+    current.end_time_s = row_time(current.start_row + current.row_count);
+    bands.push_back(current);
+  };
+
+  for (std::size_t r = 1; r < scanlines.size(); ++r) {
+    const ScanlineColor& line = scanlines[r];
+    const double chroma_jump = color::delta_e_ab(line.chroma, current.chroma);
+    const double lightness_jump = std::abs(line.lightness - current.lightness);
+    if (chroma_jump > config.split_delta_e || lightness_jump > config.split_delta_l) {
+      flush();
+      current.start_row = static_cast<int>(r);
+      current.row_count = 1;
+      current.chroma = line.chroma;
+      current.lightness = line.lightness;
+      current.rgb = line.rgb;
+    } else {
+      // Incremental running mean keeps the band's color robust against
+      // per-row noise without a second pass.
+      const double weight = 1.0 / (current.row_count + 1);
+      current.chroma.a += (line.chroma.a - current.chroma.a) * weight;
+      current.chroma.b += (line.chroma.b - current.chroma.b) * weight;
+      current.lightness += (line.lightness - current.lightness) * weight;
+      current.rgb += (line.rgb - current.rgb) * weight;
+      ++current.row_count;
+    }
+  }
+  flush();
+  return bands;
+}
+
+std::vector<SlotObservation> bands_to_slots(const std::vector<Band>& bands,
+                                            double symbol_rate_hz) {
+  std::vector<SlotObservation> slots;
+  const double duration = 1.0 / symbol_rate_hz;
+  for (const Band& band : bands) {
+    // A slot belongs to the band if the band covers the slot's midpoint:
+    // first covered slot is round(start/d), one-past-last is round(end/d).
+    const auto first = static_cast<long long>(std::llround(band.start_time_s / duration));
+    const auto last = static_cast<long long>(std::llround(band.end_time_s / duration));
+    for (long long slot = first; slot < last; ++slot) {
+      slots.push_back({slot, band.chroma, band.lightness, band.rgb});
+    }
+  }
+  return slots;
+}
+
+std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
+                                           double symbol_rate_hz,
+                                           const ExtractorConfig& config) {
+  const std::vector<ScanlineColor> scanlines = reduce_to_scanlines(frame);
+  const std::vector<Band> bands = segment_bands(frame, scanlines, config);
+  return bands_to_slots(bands, symbol_rate_hz);
+}
+
+}  // namespace colorbars::rx

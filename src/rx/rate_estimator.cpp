@@ -1,0 +1,76 @@
+#include "colorbars/rx/rate_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colorbars::rx {
+
+double rate_fit_residual(std::span<const double> band_durations_s,
+                         double candidate_rate_hz) {
+  if (band_durations_s.empty()) return 1.0;
+  const double symbol_duration = 1.0 / candidate_rate_hz;
+  double total = 0.0;
+  for (const double duration : band_durations_s) {
+    const double multiples = duration / symbol_duration;
+    const double nearest = std::max(std::round(multiples), 1.0);
+    // Relative deviation normalized by ONE symbol duration (not by the
+    // whole band): a half-symbol error on a 10-symbol band is as bad as
+    // on a 1-symbol band.
+    total += std::abs(multiples - nearest);
+  }
+  return total / static_cast<double>(band_durations_s.size());
+}
+
+RateEstimate estimate_symbol_rate(std::span<const camera::Frame> frames,
+                                  double min_rate_hz, double max_rate_hz,
+                                  const ExtractorConfig& config) {
+  // Use start-to-start intervals between consecutive bands rather than
+  // band durations: segmentation places each boundary a fixed lag after
+  // the true transition (the exposure ramp must exceed the split
+  // threshold), so durations carry a constant additive bias — which
+  // cancels in the differences. Frame-edge bands are dropped (clipped by
+  // the readout window).
+  std::vector<double> durations;
+  for (const camera::Frame& frame : frames) {
+    const auto scanlines = reduce_to_scanlines(frame);
+    const auto bands = segment_bands(frame, scanlines, config);
+    for (std::size_t i = 2; i + 1 < bands.size(); ++i) {
+      durations.push_back(bands[i].start_time_s - bands[i - 1].start_time_s);
+    }
+  }
+
+  RateEstimate estimate;
+  estimate.band_count = static_cast<int>(durations.size());
+  if (durations.empty()) return estimate;
+
+  // Coarse scan, then refine around the winner. Harmonics of the true
+  // rate also fit (every duration is a multiple of T/2 too), so among
+  // near-equal fits prefer the LOWEST rate: scan ascending and require a
+  // meaningful improvement to move off an earlier candidate.
+  double best_rate = min_rate_hz;
+  double best_residual = 2.0;
+  for (double rate = min_rate_hz; rate <= max_rate_hz; rate *= 1.01) {
+    const double residual = rate_fit_residual(durations, rate);
+    if (residual < best_residual - 0.01) {
+      best_residual = residual;
+      best_rate = rate;
+    }
+  }
+  // Refinement: golden-section-style local shrink around the winner.
+  double lo = best_rate * 0.97;
+  double hi = best_rate * 1.03;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const double a = lo + (hi - lo) / 3.0;
+    const double b = hi - (hi - lo) / 3.0;
+    if (rate_fit_residual(durations, a) < rate_fit_residual(durations, b)) {
+      hi = b;
+    } else {
+      lo = a;
+    }
+  }
+  estimate.symbol_rate_hz = 0.5 * (lo + hi);
+  estimate.residual = rate_fit_residual(durations, estimate.symbol_rate_hz);
+  return estimate;
+}
+
+}  // namespace colorbars::rx

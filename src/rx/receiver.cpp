@@ -1,0 +1,410 @@
+#include "colorbars/rx/receiver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace colorbars::rx {
+
+using protocol::ChannelSymbol;
+using protocol::SymbolKind;
+
+Receiver::Receiver(ReceiverConfig config)
+    : config_(config),
+      constellation_(config.format.order),
+      packetizer_(config.format, constellation_),
+      code_(config.rs_n, config.rs_k),
+      store_(constellation_.size(), config.classifier) {}
+
+SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
+  std::vector<SlotObservation> observations;
+  for (const camera::Frame& frame : frames) {
+    const std::vector<SlotObservation> frame_slots =
+        extract_slots(frame, config_.symbol_rate_hz, config_.extractor);
+    observations.insert(observations.end(), frame_slots.begin(), frame_slots.end());
+  }
+
+  SlotTimeline timeline;
+  if (observations.empty()) return timeline;
+
+  auto [min_it, max_it] = std::minmax_element(
+      observations.begin(), observations.end(),
+      [](const SlotObservation& a, const SlotObservation& b) { return a.slot < b.slot; });
+  timeline.base_slot = min_it->slot;
+  timeline.slots.resize(static_cast<std::size_t>(max_it->slot - min_it->slot) + 1);
+  for (const SlotObservation& observation : observations) {
+    auto& cell = timeline.slots[static_cast<std::size_t>(observation.slot -
+                                                         timeline.base_slot)];
+    // First writer wins: duplicate coverage can only happen at frame
+    // boundaries where the earlier frame saw the fuller band.
+    if (!cell.has_value()) cell = observation;
+  }
+  return timeline;
+}
+
+int Receiver::classify_data(const SlotObservation& observation) const {
+  int best_index = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < store_.symbol_count(); ++i) {
+    const auto reference = store_.reference_color(i);
+    if (!reference.has_value()) continue;
+    const double d = store_.distance(observation, *reference);
+    if (d < best_distance) {
+      best_distance = d;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+Receiver::SlotState Receiver::slot_state(const SlotTimeline& timeline,
+                                         std::size_t position) const {
+  if (position >= timeline.slots.size()) return SlotState::kMissing;
+  const auto& cell = timeline.slots[position];
+  if (!cell.has_value()) return SlotState::kMissing;
+  return store_.is_off(*cell) ? SlotState::kOff : SlotState::kLit;
+}
+
+bool Receiver::matches_pattern(const SlotTimeline& timeline, std::size_t position,
+                               std::span<const ChannelSymbol> pattern) const {
+  if (position + pattern.size() > timeline.slots.size()) return false;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const SlotState state = slot_state(timeline, position + i);
+    if (state == SlotState::kMissing) return false;
+    const bool dark = state == SlotState::kOff;
+    if (pattern[i].kind == SymbolKind::kOff && !dark) return false;
+    if (pattern[i].kind != SymbolKind::kOff && dark) return false;
+  }
+  return true;
+}
+
+bool Receiver::extension_rules_out_longer_prefix(const SlotTimeline& timeline,
+                                                 std::size_t position,
+                                                 std::size_t pattern_size) const {
+  // A longer alternating prefix would continue (lit, dark) at offsets
+  // pattern_size and pattern_size + 1. The match stands only when both
+  // slots are observed and break that continuation.
+  const SlotState next = slot_state(timeline, position + pattern_size);
+  const SlotState after = slot_state(timeline, position + pattern_size + 1);
+  if (next == SlotState::kMissing || after == SlotState::kMissing) return false;
+  return !(next == SlotState::kLit && after == SlotState::kOff);
+}
+
+void Receiver::absorb_pattern_white(const SlotTimeline& timeline, std::size_t position,
+                                    std::span<const ChannelSymbol> pattern) {
+  ReferenceColor mean;
+  int count = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i].kind != SymbolKind::kWhite) continue;
+    const auto& cell = timeline.slots[position + i];
+    if (!cell.has_value()) continue;
+    mean.chroma += cell->chroma;
+    mean.lightness += cell->lightness;
+    mean.rgb += cell->rgb;
+    ++count;
+  }
+  if (count > 0) {
+    const double inv = 1.0 / count;
+    mean.chroma /= static_cast<double>(count);
+    mean.lightness *= inv;
+    mean.rgb *= inv;
+    store_.absorb_white(mean);
+  }
+}
+
+ReceiverReport Receiver::process(std::span<const camera::Frame> frames) {
+  return parse(collect(frames));
+}
+
+std::vector<std::optional<ReferenceColor>> Receiver::read_calibration_colors(
+    const SlotTimeline& timeline, std::size_t colors_at) const {
+  // The flag anchors each color's constellation index positionally, so
+  // colors lost to the inter-frame gap simply stay unknown — the rest of
+  // the packet is still usable (a CSK-32 calibration packet is nearly as
+  // long as a frame's gap-free window, so partial reception is the
+  // common case at low symbol rates).
+  const int count = constellation_.size();
+  std::vector<std::optional<ReferenceColor>> colors(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::size_t at = colors_at + static_cast<std::size_t>(i);
+    if (at >= timeline.slots.size()) break;
+    const auto& cell = timeline.slots[at];
+    if (cell.has_value() && !store_.is_off(*cell)) {
+      colors[static_cast<std::size_t>(i)] = ReferenceColor::from(*cell);
+    }
+  }
+  return colors;
+}
+
+namespace {
+
+int observed_color_count(const std::vector<std::optional<ReferenceColor>>& colors) {
+  int count = 0;
+  for (const auto& color : colors) count += color.has_value() ? 1 : 0;
+  return count;
+}
+
+}  // namespace
+
+ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
+  ReceiverReport report;
+  report.slots_observed = static_cast<long long>(timeline.observed_count());
+  report.slot_span = static_cast<long long>(timeline.slots.size());
+
+  // The combined start-of-packet sequences: delimiter followed by flag.
+  std::vector<ChannelSymbol> data_prefix = protocol::delimiter_sequence();
+  {
+    const auto& flag = protocol::data_flag_sequence();
+    data_prefix.insert(data_prefix.end(), flag.begin(), flag.end());
+  }
+  std::vector<ChannelSymbol> calibration_prefix = protocol::delimiter_sequence();
+  {
+    const auto& flag = protocol::calibration_flag_sequence();
+    calibration_prefix.insert(calibration_prefix.end(), flag.begin(), flag.end());
+  }
+  std::vector<ChannelSymbol> reversed_calibration_prefix = protocol::delimiter_sequence();
+  {
+    const auto& flag = protocol::reversed_calibration_flag_sequence();
+    reversed_calibration_prefix.insert(reversed_calibration_prefix.end(), flag.begin(),
+                                       flag.end());
+  }
+  std::vector<ChannelSymbol> rotated_calibration_prefix = protocol::delimiter_sequence();
+  {
+    const auto& flag = protocol::rotated_calibration_flag_sequence();
+    rotated_calibration_prefix.insert(rotated_calibration_prefix.end(), flag.begin(),
+                                      flag.end());
+  }
+
+  // Calibration variants, longest prefix first. Color slot j of a packet
+  // carries constellation index permute(j).
+  enum class CalibrationVariant { kRotated, kReversed, kForward };
+  struct VariantEntry {
+    CalibrationVariant variant;
+    const std::vector<ChannelSymbol>* prefix;
+    bool needs_extension_guard;
+  };
+  const VariantEntry variants[] = {
+      {CalibrationVariant::kRotated, &rotated_calibration_prefix, false},
+      {CalibrationVariant::kReversed, &reversed_calibration_prefix, true},
+      {CalibrationVariant::kForward, &calibration_prefix, true},
+  };
+  const int color_count = constellation_.size();
+  auto permute_colors = [color_count](std::vector<std::optional<ReferenceColor>>& raw,
+                                      CalibrationVariant variant) {
+    if (variant == CalibrationVariant::kForward) return;
+    std::vector<std::optional<ReferenceColor>> out(raw.size());
+    for (int j = 0; j < color_count; ++j) {
+      const int index = variant == CalibrationVariant::kReversed
+                            ? color_count - 1 - j
+                            : (color_count / 2 + j) % color_count;
+      out[static_cast<std::size_t>(index)] = raw[static_cast<std::size_t>(j)];
+    }
+    raw = std::move(out);
+  };
+  // Finds a calibration-variant match at `position`; returns the entry or
+  // nullptr. The extension guard rejects matches that could be a
+  // gap-truncated longer prefix.
+  auto match_calibration = [&](const SlotTimeline& tl,
+                               std::size_t position) -> const VariantEntry* {
+    for (const VariantEntry& entry : variants) {
+      if (!matches_pattern(tl, position, *entry.prefix)) continue;
+      if (entry.needs_extension_guard &&
+          !extension_rules_out_longer_prefix(tl, position, entry.prefix->size())) {
+        continue;
+      }
+      return &entry;
+    }
+    return nullptr;
+  };
+
+  const int size_symbols = protocol::size_field_symbols(config_.format.order);
+  const auto& schedule = packetizer_.schedule();
+  const int bits = constellation_.bits();
+
+  // Cold-start pre-scan: the capture is decoded offline (as the paper
+  // does for its iPhone receiver), so data packets that precede the
+  // first *intact* calibration packet can still be demodulated against
+  // it. Find and absorb the earliest complete calibration packet before
+  // the sequential parse; later calibration packets refresh the store as
+  // they are reached.
+  if (!store_.calibrated()) {
+    for (std::size_t position = 0; position < timeline.slots.size(); ++position) {
+      const VariantEntry* entry = match_calibration(timeline, position);
+      if (entry == nullptr) continue;
+      auto colors = read_calibration_colors(timeline, position + entry->prefix->size());
+      permute_colors(colors, entry->variant);
+      if (observed_color_count(colors) > 0) {
+        absorb_pattern_white(timeline, position, *entry->prefix);
+        store_.absorb_calibration_partial(colors);
+        if (store_.calibrated()) break;
+      }
+    }
+  }
+
+  std::size_t position = 0;
+  while (position < timeline.slots.size()) {
+    // Longest pattern first: each shorter prefix is a strict prefix of
+    // the longer ones, so testing in descending length (plus the
+    // extension guard against gap truncation) disambiguates.
+    const VariantEntry* calibration_entry = match_calibration(timeline, position);
+    const bool data_here = calibration_entry == nullptr &&
+                           matches_pattern(timeline, position, data_prefix) &&
+                           extension_rules_out_longer_prefix(timeline, position,
+                                                             data_prefix.size());
+    if (calibration_entry == nullptr && !data_here) {
+      ++position;
+      continue;
+    }
+
+    if (calibration_entry != nullptr) {
+      PacketRecord record;
+      record.kind = protocol::PacketKind::kCalibration;
+      record.start_slot = timeline.base_slot + static_cast<long long>(position);
+      const std::size_t colors_at = position + calibration_entry->prefix->size();
+      auto colors = read_calibration_colors(timeline, colors_at);
+      permute_colors(colors, calibration_entry->variant);
+      const int observed = observed_color_count(colors);
+      if (observed > 0) {
+        absorb_pattern_white(timeline, position, *calibration_entry->prefix);
+        store_.absorb_calibration_partial(colors);
+        record.ok = true;
+        record.erased_slots = constellation_.size() - observed;
+        ++report.calibration_packets;
+        position = colors_at + static_cast<std::size_t>(constellation_.size());
+      } else {
+        record.failure = PacketFailure::kHeaderLost;
+        position += calibration_entry->prefix->size();
+      }
+      report.packets.push_back(std::move(record));
+      continue;
+    }
+
+    // Data packet.
+    PacketRecord record;
+    record.kind = protocol::PacketKind::kData;
+    record.start_slot = timeline.base_slot + static_cast<long long>(position);
+    absorb_pattern_white(timeline, position, data_prefix);
+
+    if (!store_.has_any_reference()) {
+      record.failure = PacketFailure::kNotCalibrated;
+      ++report.data_packets_failed;
+      report.packets.push_back(std::move(record));
+      position += data_prefix.size();
+      continue;
+    }
+
+    // Size field: every slot must be an observed, lit band.
+    const std::size_t size_at = position + data_prefix.size();
+    if (size_at + static_cast<std::size_t>(size_symbols) > timeline.slots.size()) {
+      record.failure = PacketFailure::kTruncated;
+      ++report.data_packets_failed;
+      report.packets.push_back(std::move(record));
+      break;
+    }
+    std::vector<ChannelSymbol> size_field;
+    bool header_ok = true;
+    for (int i = 0; i < size_symbols; ++i) {
+      const auto& cell = timeline.slots[size_at + static_cast<std::size_t>(i)];
+      if (!cell.has_value() || store_.is_off(*cell)) {
+        header_ok = false;
+        break;
+      }
+      size_field.push_back(ChannelSymbol::data(classify_data(*cell)));
+    }
+    const std::optional<int> payload_symbols =
+        header_ok ? protocol::decode_size_field(size_field, config_.format.order)
+                  : std::nullopt;
+    // Validate the size against the link's RS configuration: every data
+    // packet carries exactly one codeword, so a mismatching size means a
+    // corrupted header. Without this check a misread size field would
+    // make the parser swallow the following packets as "payload".
+    const int expected_symbols = packetizer_.symbols_for_bytes(config_.rs_n);
+    if (!payload_symbols.has_value() || *payload_symbols != expected_symbols) {
+      record.failure = PacketFailure::kHeaderLost;
+      ++report.data_packets_failed;
+      report.packets.push_back(std::move(record));
+      position = size_at + static_cast<std::size_t>(size_symbols);
+      continue;
+    }
+
+    // Payload region: a fixed number of slots derived from the size field
+    // (the white-insertion schedule is deterministic on both sides).
+    const int payload_slots = schedule.slots_for_data(*payload_symbols);
+    const std::size_t payload_at = size_at + static_cast<std::size_t>(size_symbols);
+    if (payload_at + static_cast<std::size_t>(payload_slots) > timeline.slots.size()) {
+      record.failure = PacketFailure::kTruncated;
+      ++report.data_packets_failed;
+      report.packets.push_back(std::move(record));
+      break;
+    }
+
+    // Strip white slots positionally; record gap-erased data slots.
+    std::vector<int> symbol_indices;          // classified payload data symbols
+    std::vector<bool> symbol_erased;          // per data symbol
+    symbol_indices.reserve(static_cast<std::size_t>(*payload_symbols));
+    symbol_erased.reserve(static_cast<std::size_t>(*payload_symbols));
+    for (int slot = 0; slot < payload_slots; ++slot) {
+      if (schedule.is_white_slot(slot)) continue;
+      const auto& cell = timeline.slots[payload_at + static_cast<std::size_t>(slot)];
+      if (!cell.has_value()) {
+        symbol_indices.push_back(0);
+        symbol_erased.push_back(true);
+        ++record.erased_slots;
+      } else {
+        symbol_indices.push_back(classify_data(*cell));
+        symbol_erased.push_back(false);
+      }
+    }
+
+    // Map symbols to the RS codeword bytes; a byte is an erasure if any
+    // of the symbols contributing its bits was erased.
+    const csk::SymbolMapper& mapper = packetizer_.mapper();
+    const std::size_t byte_count =
+        static_cast<std::size_t>(symbol_indices.size()) * static_cast<std::size_t>(bits) / 8;
+    const std::vector<std::uint8_t> bytes =
+        mapper.unmap_symbols(symbol_indices, byte_count);
+    std::vector<int> byte_erasures;
+    for (std::size_t byte = 0; byte < byte_count; ++byte) {
+      const std::size_t first_bit = byte * 8;
+      const std::size_t last_bit = first_bit + 7;
+      const std::size_t first_symbol = first_bit / static_cast<std::size_t>(bits);
+      const std::size_t last_symbol = last_bit / static_cast<std::size_t>(bits);
+      for (std::size_t s = first_symbol; s <= last_symbol && s < symbol_erased.size(); ++s) {
+        if (symbol_erased[s]) {
+          byte_erasures.push_back(static_cast<int>(byte));
+          break;
+        }
+      }
+    }
+
+    if (static_cast<int>(byte_count) != code_.n()) {
+      // Size field got corrupted into a different (but decodable) value.
+      record.failure = PacketFailure::kHeaderLost;
+      ++report.data_packets_failed;
+      report.packets.push_back(std::move(record));
+      position = payload_at;
+      continue;
+    }
+
+    const rs::DecodeResult decoded =
+        config_.use_erasure_decoding ? code_.decode(bytes, byte_erasures)
+                                     : code_.decode(bytes);
+    if (decoded.ok()) {
+      record.ok = true;
+      record.payload = decoded.message;
+      record.corrected_errors = decoded.corrected_errors;
+      record.corrected_erasures = decoded.corrected_erasures;
+      report.payload.insert(report.payload.end(), decoded.message.begin(),
+                            decoded.message.end());
+      ++report.data_packets_ok;
+    } else {
+      record.failure = PacketFailure::kRsFailure;
+      ++report.data_packets_failed;
+    }
+    report.packets.push_back(std::move(record));
+    position = payload_at + static_cast<std::size_t>(payload_slots);
+  }
+
+  return report;
+}
+
+}  // namespace colorbars::rx

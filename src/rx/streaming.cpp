@@ -1,0 +1,70 @@
+#include "colorbars/rx/streaming.hpp"
+
+#include <algorithm>
+
+namespace colorbars::rx {
+
+StreamingReceiver::StreamingReceiver(ReceiverConfig config)
+    : receiver_(std::move(config)) {}
+
+void StreamingReceiver::push_frame(const camera::Frame& frame) {
+  const std::vector<SlotObservation> slots = extract_slots(
+      frame, receiver_.config().symbol_rate_hz, receiver_.config().extractor);
+  for (const SlotObservation& slot : slots) {
+    latest_slot_ = std::max(latest_slot_, slot.slot);
+  }
+  observations_.insert(observations_.end(), slots.begin(), slots.end());
+  ++frames_ingested_;
+}
+
+std::vector<PacketRecord> StreamingReceiver::drain(long long horizon_slot) {
+  if (observations_.empty()) return {};
+
+  // Rebuild the dense timeline over everything seen so far. Packet
+  // records are deduplicated by start slot, so re-parsing already
+  // reported regions is idempotent for the caller; calibration
+  // re-absorption only re-blends the same references.
+  SlotTimeline timeline;
+  auto [min_it, max_it] = std::minmax_element(
+      observations_.begin(), observations_.end(),
+      [](const SlotObservation& a, const SlotObservation& b) { return a.slot < b.slot; });
+  timeline.base_slot = min_it->slot;
+  timeline.slots.resize(static_cast<std::size_t>(max_it->slot - min_it->slot) + 1);
+  for (const SlotObservation& observation : observations_) {
+    auto& cell =
+        timeline.slots[static_cast<std::size_t>(observation.slot - timeline.base_slot)];
+    if (!cell.has_value()) cell = observation;
+  }
+
+  const ReceiverReport report = receiver_.parse(timeline);
+  std::vector<PacketRecord> fresh;
+  for (const PacketRecord& record : report.packets) {
+    if (record.start_slot <= last_reported_start_) continue;
+    if (record.start_slot > horizon_slot) continue;
+    fresh.push_back(record);
+  }
+  for (const PacketRecord& record : fresh) {
+    last_reported_start_ = std::max(last_reported_start_, record.start_slot);
+    if (record.kind == protocol::PacketKind::kData && record.ok) {
+      payload_.insert(payload_.end(), record.payload.begin(), record.payload.end());
+    }
+  }
+  return fresh;
+}
+
+std::vector<PacketRecord> StreamingReceiver::poll() {
+  if (latest_slot_ < 0) return {};
+  // Hold back anything within one frame period of the stream head: a
+  // packet there may still gain slots (its tail can arrive with the
+  // next frame after the gap).
+  const long long holdback = static_cast<long long>(
+      receiver_.config().symbol_rate_hz / 30.0) + 4;
+  return drain(latest_slot_ - holdback);
+}
+
+std::vector<PacketRecord> StreamingReceiver::finish() {
+  if (latest_slot_ < 0) return {};
+  return drain(latest_slot_);
+}
+
+}  // namespace colorbars::rx

@@ -1,0 +1,84 @@
+#include "colorbars/util/bitio.hpp"
+
+#include <cassert>
+
+namespace colorbars::util {
+
+void BitWriter::write(std::uint32_t value, int bits) {
+  assert(bits >= 1 && bits <= 32);
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    const int bit_in_byte = 7 - static_cast<int>(bit_count_ % 8);
+    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    bytes_[byte_index] = static_cast<std::uint8_t>(bytes_[byte_index] | (bit << bit_in_byte));
+    ++bit_count_;
+  }
+}
+
+void BitWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) write_byte(b);
+}
+
+void BitWriter::align_to_byte() {
+  while (bit_count_ % 8 != 0) write(0, 1);
+}
+
+std::vector<std::uint8_t> BitWriter::take() noexcept {
+  bit_count_ = 0;
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::read(int bits) noexcept {
+  assert(bits >= 1 && bits <= 32);
+  std::uint32_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    value <<= 1;
+    if (position_ < bytes_.size() * 8) {
+      const std::size_t byte_index = position_ / 8;
+      const int bit_in_byte = 7 - static_cast<int>(position_ % 8);
+      value |= (bytes_[byte_index] >> bit_in_byte) & 1u;
+      ++position_;
+    } else {
+      overrun_ = true;
+    }
+  }
+  return value;
+}
+
+std::vector<std::uint32_t> split_bits(std::span<const std::uint8_t> bytes,
+                                      int bits_per_chunk) {
+  assert(bits_per_chunk >= 1 && bits_per_chunk <= 32);
+  const std::size_t total_bits = bytes.size() * 8;
+  const std::size_t chunk_count =
+      (total_bits + static_cast<std::size_t>(bits_per_chunk) - 1) /
+      static_cast<std::size_t>(bits_per_chunk);
+  BitReader reader(bytes);
+  std::vector<std::uint32_t> chunks;
+  chunks.reserve(chunk_count);
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const auto available = reader.remaining();
+    if (available >= static_cast<std::size_t>(bits_per_chunk)) {
+      chunks.push_back(reader.read(bits_per_chunk));
+    } else {
+      // Final partial chunk: zero-pad on the right, as the transmitter does.
+      std::uint32_t v = reader.read(static_cast<int>(available));
+      v <<= (static_cast<std::size_t>(bits_per_chunk) - available);
+      chunks.push_back(v);
+    }
+  }
+  return chunks;
+}
+
+std::vector<std::uint8_t> join_bits(std::span<const std::uint32_t> chunks,
+                                    int bits_per_chunk,
+                                    std::size_t byte_count) {
+  assert(bits_per_chunk >= 1 && bits_per_chunk <= 32);
+  BitWriter writer;
+  for (const std::uint32_t chunk : chunks) writer.write(chunk, bits_per_chunk);
+  std::vector<std::uint8_t> bytes = writer.take();
+  bytes.resize(byte_count, 0);
+  return bytes;
+}
+
+}  // namespace colorbars::util

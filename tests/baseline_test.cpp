@@ -1,0 +1,85 @@
+#include "colorbars/baseline/fsk.hpp"
+#include "colorbars/baseline/ook.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::baseline {
+namespace {
+
+TEST(Ook, ModulateProducesOneSegmentPerBit) {
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0};
+  OokConfig config;
+  const led::EmissionTrace trace = ook_modulate(bits, config);
+  EXPECT_EQ(trace.segment_count(), 5u);
+  EXPECT_GT(trace.sample(0.0001).sum(), 0.0);                      // bit 1: lit
+  EXPECT_DOUBLE_EQ(trace.sample(1.5 / config.symbol_rate_hz).sum(), 0.0);  // bit 0: dark
+}
+
+TEST(Ook, ObservedBitsAreMostlyCorrect) {
+  OokConfig config;
+  config.symbol_rate_hz = 1000.0;
+  const OokRunResult result =
+      ook_run(config, camera::ideal_profile(), {}, 2000, 101);
+  EXPECT_GT(result.bits_observed, 1000);
+  EXPECT_LT(result.ber(), 0.02);
+}
+
+TEST(Ook, LossMatchesInterFrameGap) {
+  OokConfig config;
+  config.symbol_rate_hz = 1000.0;
+  const camera::SensorProfile profile = camera::nexus5_profile();
+  const OokRunResult result = ook_run(config, profile, {}, 3000, 102);
+  const double observed_fraction =
+      static_cast<double>(result.bits_observed) / static_cast<double>(result.bits_sent);
+  EXPECT_NEAR(observed_fraction, 1.0 - profile.inter_frame_loss_ratio, 0.08);
+}
+
+TEST(Ook, ThroughputIsOneBitPerSymbol) {
+  // OOK at S sym/s over a camera with loss l delivers ~(1-l)S bps —
+  // far below CSK's C bits per symbol.
+  OokConfig config;
+  config.symbol_rate_hz = 2000.0;
+  const OokRunResult result = ook_run(config, camera::ideal_profile(), {}, 4000, 103);
+  EXPECT_GT(result.throughput_bps(), 1000.0);
+  EXPECT_LT(result.throughput_bps(), 2000.0);
+}
+
+TEST(Fsk, BitsPerSymbolIsLog2OfAlphabet) {
+  FskConfig config;
+  EXPECT_EQ(config.bits_per_symbol(), 3);
+  config.frequencies = {500, 1000, 1500, 2000};
+  EXPECT_EQ(config.bits_per_symbol(), 2);
+}
+
+TEST(Fsk, ModulateHoldsDwellPerSymbol) {
+  FskConfig config;
+  const led::EmissionTrace trace = fsk_modulate({0, 3, 7}, config);
+  EXPECT_NEAR(trace.duration(), 3.0 * config.dwell_s, 1e-9);
+}
+
+TEST(Fsk, SquareWaveAlternates) {
+  FskConfig config;
+  config.frequencies = {600};
+  const led::EmissionTrace trace = fsk_modulate({0}, config);
+  // At 600 Hz the first half-period (0.83 ms) is lit, the next dark.
+  EXPECT_GT(trace.sample(0.0004).sum(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.sample(0.0012).sum(), 0.0);
+}
+
+TEST(Fsk, DecodesMostSymbolsCorrectly) {
+  FskConfig config;
+  const FskRunResult result = fsk_run(config, camera::ideal_profile(), {}, 60, 104);
+  EXPECT_GT(result.symbols_decoded, 40);
+  EXPECT_LT(result.ser(), 0.15);
+}
+
+TEST(Fsk, ThroughputIsFarBelowCsk) {
+  // The paper's motivation: FSK baselines deliver ~11 bytes/s (~90 bps).
+  FskConfig config;
+  const FskRunResult result = fsk_run(config, camera::nexus5_profile(), {}, 90, 105);
+  EXPECT_LT(result.throughput_bps(), 150.0);
+  EXPECT_GT(result.throughput_bps(), 30.0);
+}
+
+}  // namespace
+}  // namespace colorbars::baseline

@@ -1,0 +1,212 @@
+#include "colorbars/camera/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/csk/modulation.hpp"
+#include "colorbars/led/tri_led.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+
+namespace colorbars::camera {
+namespace {
+
+led::EmissionTrace steady_white(double duration_s) {
+  const led::TriLed led;
+  led::EmissionTrace trace;
+  trace.append(duration_s, led.radiance(csk::white_drive()));
+  return trace;
+}
+
+TEST(Camera, RejectsInvalidProfile) {
+  SensorProfile bad = ideal_profile();
+  bad.rows = 0;
+  EXPECT_THROW((void)RollingShutterCamera(bad, SceneConfig{}), std::invalid_argument);
+  bad = ideal_profile();
+  bad.inter_frame_loss_ratio = 1.0;
+  EXPECT_THROW((void)RollingShutterCamera(bad, SceneConfig{}), std::invalid_argument);
+}
+
+TEST(Camera, FrameHasProfileDimensionsAndTiming) {
+  const SensorProfile profile = ideal_profile();
+  RollingShutterCamera camera(profile);
+  const Frame frame = camera.capture_frame(steady_white(0.1), 0.0);
+  EXPECT_EQ(frame.rows, profile.rows);
+  EXPECT_EQ(frame.columns, profile.columns);
+  EXPECT_DOUBLE_EQ(frame.row_time_s, profile.row_time_s());
+}
+
+TEST(Camera, VideoFrameCountMatchesDuration) {
+  SensorProfile profile = ideal_profile();
+  profile.frame_start_jitter_s = 0.0;
+  RollingShutterCamera camera(profile, SceneConfig{});
+  const auto frames = camera.capture_video(steady_white(0.5));
+  EXPECT_EQ(frames.size(), 15u);  // 0.5 s at 30 fps
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].frame_index, static_cast<int>(i));
+    EXPECT_NEAR(frames[i].start_time_s, i / 30.0, 1e-12);
+  }
+}
+
+TEST(Camera, FrameStartJitterStaysInsideGap) {
+  SensorProfile profile = ideal_profile();
+  profile.frame_start_jitter_s = 0.005;  // above the 0.8 * gap clamp
+  RollingShutterCamera camera(profile, SceneConfig{});
+  const auto frames = camera.capture_video(steady_white(1.0));
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const double offset = frames[i].start_time_s - i * profile.frame_period_s();
+    EXPECT_GE(offset, 0.0);
+    EXPECT_LE(offset, 0.8 * profile.gap_duration_s() + 1e-12);
+    if (i > 0) {
+      // Readouts must never overlap.
+      EXPECT_GE(frames[i].start_time_s, frames[i - 1].start_time_s +
+                                            profile.readout_duration_s() - 1e-12);
+    }
+  }
+}
+
+TEST(Camera, AutoExposureHitsTarget) {
+  const SensorProfile profile = ideal_profile();
+  RollingShutterCamera camera(profile);
+  const led::TriLed led;
+  const ExposureSettings settings = camera.auto_exposure(led.radiance(csk::white_drive()));
+  // Re-derive the mean green response at the chosen settings.
+  const auto sensor = profile.xyz_to_sensor_rgb * led.radiance(csk::white_drive());
+  const double response = sensor.y * profile.sensitivity * (settings.iso / 100.0) *
+                          (settings.exposure_s * 1000.0);
+  EXPECT_NEAR(response, profile.auto_exposure_target, 0.05);
+}
+
+TEST(Camera, AutoExposureRaisesIsoInDarkScenes) {
+  RollingShutterCamera camera(ideal_profile());
+  const ExposureSettings dim = camera.auto_exposure({0.0004, 0.0004, 0.0004});
+  EXPECT_GT(dim.iso, 100.0);
+  EXPECT_DOUBLE_EQ(dim.exposure_s, ideal_profile().max_exposure_s);
+}
+
+TEST(Camera, AutoExposureClampsToLimits) {
+  RollingShutterCamera camera(ideal_profile());
+  const ExposureSettings bright = camera.auto_exposure({1e5, 1e5, 1e5});
+  EXPECT_DOUBLE_EQ(bright.exposure_s, ideal_profile().min_exposure_s);
+  const ExposureSettings black = camera.auto_exposure({0, 0, 0});
+  EXPECT_LE(black.iso, ideal_profile().max_iso);
+}
+
+TEST(Camera, SteadyWhiteProducesUniformBrightFrame) {
+  RollingShutterCamera camera(ideal_profile());
+  const Frame frame = camera.capture_frame(steady_white(0.1), 0.01);
+  // Sample interior pixels; all should be bright and neutral.
+  const color::Rgb8 center = frame.at(frame.rows / 2, frame.columns / 2);
+  EXPECT_GT(center.g, 100);
+  EXPECT_NEAR(center.r, center.g, 40);
+  EXPECT_NEAR(center.b, center.g, 40);
+}
+
+TEST(Camera, DarkTraceProducesDarkFrame) {
+  RollingShutterCamera camera(ideal_profile());
+  camera.set_manual_exposure({1.0 / 8000.0, 100.0});
+  led::EmissionTrace dark;
+  dark.append(0.1, {0, 0, 0});
+  const Frame frame = camera.capture_frame(dark, 0.01);
+  const color::Rgb8 center = frame.at(frame.rows / 2, frame.columns / 2);
+  EXPECT_LT(center.g, 40);
+}
+
+TEST(Camera, ManualExposureIsHonored) {
+  RollingShutterCamera camera(ideal_profile());
+  camera.set_manual_exposure({1.0 / 4000.0, 800.0});
+  const Frame frame = camera.capture_frame(steady_white(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(frame.exposure_s, 1.0 / 4000.0);
+  EXPECT_DOUBLE_EQ(frame.iso, 800.0);
+}
+
+TEST(Camera, LongerExposureBrightensImage) {
+  SensorProfile profile = ideal_profile();
+  RollingShutterCamera camera(profile);
+  led::EmissionTrace trace;
+  const led::TriLed led;
+  trace.append(0.2, led.radiance(csk::white_drive()) * 0.08);
+
+  camera.set_manual_exposure({1.0 / 4000.0, 100.0});
+  const Frame dim = camera.capture_frame(trace, 0.01);
+  camera.set_manual_exposure({1.0 / 500.0, 100.0});
+  const Frame bright = camera.capture_frame(trace, 0.01);
+  EXPECT_GT(bright.at(500, 10).g, dim.at(500, 10).g);
+}
+
+TEST(Camera, HigherIsoIsNoisier) {
+  SensorProfile profile = ideal_profile();
+  profile.vignette_strength = 0.0;
+  const led::TriLed led;
+  led::EmissionTrace trace;
+  trace.append(0.2, led.radiance(csk::white_drive()) * 0.1);
+
+  auto column_stddev = [](const Frame& frame) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int count = 0;
+    for (int r = 100; r < frame.rows - 100; ++r) {
+      const double v = frame.at(r, frame.columns / 2).g / 255.0;
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+    const double mean = sum / count;
+    return std::sqrt(std::max(sum_sq / count - mean * mean, 0.0));
+  };
+
+  RollingShutterCamera camera_low(profile, {}, 1);
+  camera_low.set_manual_exposure({1.0 / 2000.0, 100.0});
+  RollingShutterCamera camera_high(profile, {}, 1);
+  // Same total brightness: 16x ISO, 1/16 exposure.
+  camera_high.set_manual_exposure({1.0 / 32000.0, 1600.0});
+  const double low = column_stddev(camera_low.capture_frame(trace, 0.01));
+  const double high = column_stddev(camera_high.capture_frame(trace, 0.01));
+  EXPECT_GT(high, low);
+}
+
+TEST(Camera, VignetteDarkensCorners) {
+  SensorProfile profile = nexus5_profile();
+  RollingShutterCamera camera(profile);
+  EXPECT_NEAR(camera.vignette_gain(profile.rows / 2, profile.columns / 2), 1.0, 1e-3);
+  EXPECT_LT(camera.vignette_gain(0, 0), 0.85);
+  EXPECT_NEAR(camera.vignette_gain(0, 0),
+              camera.vignette_gain(profile.rows - 1, profile.columns - 1), 0.01);
+}
+
+TEST(Camera, NoiseIsDeterministicPerSeed) {
+  RollingShutterCamera a(ideal_profile(), {}, 99);
+  RollingShutterCamera b(ideal_profile(), {}, 99);
+  const Frame fa = a.capture_frame(steady_white(0.1), 0.0);
+  const Frame fb = b.capture_frame(steady_white(0.1), 0.0);
+  EXPECT_EQ(fa.pixels.size(), fb.pixels.size());
+  for (std::size_t i = 0; i < fa.pixels.size(); ++i) {
+    ASSERT_EQ(fa.pixels[i], fb.pixels[i]);
+  }
+}
+
+TEST(Camera, RollingShutterRendersAlternationAsBands) {
+  // The defining phenomenon (paper Fig. 1a): an LED alternating ON/OFF
+  // at 500 Hz appears as alternating bright/dark horizontal bands.
+  const led::TriLed led;
+  led::EmissionTrace trace;
+  for (int i = 0; i < 200; ++i) {
+    trace.append(1.0 / 500.0,
+                 i % 2 == 0 ? led.radiance(csk::white_drive()) : led::Vec3{});
+  }
+  RollingShutterCamera camera(ideal_profile());
+  const Frame frame = camera.capture_frame(trace, 0.05);
+  int transitions = 0;
+  bool bright = frame.at(0, frame.columns / 2).g > 64;
+  for (int r = 1; r < frame.rows; ++r) {
+    const bool now = frame.at(r, frame.columns / 2).g > 64;
+    if (now != bright) {
+      ++transitions;
+      bright = now;
+    }
+  }
+  // 2 ms period over a ~25 ms readout -> roughly 24 transitions.
+  EXPECT_GT(transitions, 10);
+  EXPECT_LT(transitions, 40);
+}
+
+}  // namespace
+}  // namespace colorbars::camera

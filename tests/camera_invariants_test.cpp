@@ -1,0 +1,99 @@
+// Property-style invariants of the camera model: physical monotonicities
+// that must hold regardless of tuning.
+
+#include <gtest/gtest.h>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/csk/modulation.hpp"
+#include "colorbars/led/tri_led.hpp"
+
+namespace colorbars::camera {
+namespace {
+
+double mean_green(const Frame& frame) {
+  double total = 0.0;
+  for (const auto& pixel : frame.pixels) total += pixel.g;
+  return total / static_cast<double>(frame.pixels.size());
+}
+
+led::EmissionTrace dim_white(double level) {
+  const led::TriLed led;
+  led::EmissionTrace trace;
+  trace.append(0.2, led.radiance(csk::white_drive()) * level);
+  return trace;
+}
+
+TEST(CameraInvariants, BrighterSceneGivesBrighterFrameAtFixedExposure) {
+  SensorProfile profile = ideal_profile();
+  double previous = -1.0;
+  for (const double level : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    RollingShutterCamera camera(profile, SceneConfig{}, 42);
+    camera.set_manual_exposure({1.0 / 2000.0, 100.0});
+    const double brightness = mean_green(camera.capture_frame(dim_white(level), 0.05));
+    EXPECT_GT(brightness, previous) << "level " << level;
+    previous = brightness;
+  }
+}
+
+TEST(CameraInvariants, MoreAmbientNeverDarkensTheFrame) {
+  SensorProfile profile = ideal_profile();
+  double previous = -1.0;
+  for (const double ambient : {0.0, 0.005, 0.02, 0.05}) {
+    SceneConfig scene;
+    scene.ambient_level = ambient;
+    RollingShutterCamera camera(profile, scene, 42);
+    camera.set_manual_exposure({1.0 / 2000.0, 100.0});
+    const double brightness = mean_green(camera.capture_frame(dim_white(0.1), 0.05));
+    EXPECT_GE(brightness, previous - 0.5) << "ambient " << ambient;
+    previous = brightness;
+  }
+}
+
+TEST(CameraInvariants, AutoExposureIsMonotoneInSceneBrightness) {
+  RollingShutterCamera camera(ideal_profile(), SceneConfig{});
+  const led::TriLed led;
+  double previous = 1e9;
+  for (const double level : {0.05, 0.1, 0.3, 1.0, 3.0}) {
+    const ExposureSettings settings =
+        camera.auto_exposure(led.radiance(csk::white_drive()) * level);
+    // Brighter scene -> equal or shorter effective exposure (exposure x gain).
+    const double effective = settings.exposure_s * settings.iso;
+    EXPECT_LE(effective, previous + 1e-12) << "level " << level;
+    previous = effective;
+  }
+}
+
+TEST(CameraInvariants, FramesNeverOverlapInTime) {
+  SensorProfile profile = nexus5_profile();
+  RollingShutterCamera camera(profile, SceneConfig{}, 7);
+  const auto frames = camera.capture_video(dim_white(0.3));
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const double previous_end =
+        frames[i - 1].start_time_s + profile.readout_duration_s();
+    EXPECT_GE(frames[i].start_time_s, previous_end - 1e-12) << "frame " << i;
+  }
+}
+
+TEST(CameraInvariants, PixelValuesSaturateNotWrap) {
+  // Gross overexposure must clip to 255, never wrap around.
+  RollingShutterCamera camera(ideal_profile(), SceneConfig{}, 3);
+  camera.set_manual_exposure({1.0 / 60.0, 3200.0});
+  const Frame frame = camera.capture_frame(dim_white(1.0), 0.05);
+  EXPECT_GE(frame.at(frame.rows / 2, frame.columns / 2).g, 250);
+}
+
+TEST(CameraInvariants, ExposureNeverExceedsProfileLimits) {
+  RollingShutterCamera camera(iphone5s_profile(), SceneConfig{});
+  const led::TriLed led;
+  for (const double level : {1e-6, 1e-3, 0.1, 10.0}) {
+    const ExposureSettings settings =
+        camera.auto_exposure(led.radiance(csk::white_drive()) * level);
+    EXPECT_GE(settings.exposure_s, iphone5s_profile().min_exposure_s);
+    EXPECT_LE(settings.exposure_s, iphone5s_profile().max_exposure_s);
+    EXPECT_GE(settings.iso, iphone5s_profile().min_iso);
+    EXPECT_LE(settings.iso, iphone5s_profile().max_iso);
+  }
+}
+
+}  // namespace
+}  // namespace colorbars::camera

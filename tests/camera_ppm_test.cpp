@@ -1,0 +1,79 @@
+#include "colorbars/camera/ppm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace colorbars::camera {
+namespace {
+
+Frame tiny_frame() {
+  Frame frame;
+  frame.rows = 4;
+  frame.columns = 3;
+  frame.pixels.resize(12);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      frame.at(r, c) = {static_cast<std::uint8_t>(10 * r),
+                        static_cast<std::uint8_t>(20 * c),
+                        static_cast<std::uint8_t>(100 + r + c)};
+    }
+  }
+  return frame;
+}
+
+TEST(Ppm, HeaderAndSizeAreCorrect) {
+  const std::string bytes = to_ppm(tiny_frame());
+  EXPECT_EQ(bytes.rfind("P6\n3 4\n255\n", 0), 0u);
+  EXPECT_EQ(bytes.size(), std::string("P6\n3 4\n255\n").size() + 12u * 3u);
+}
+
+TEST(Ppm, PixelBytesAreRowMajorRgb) {
+  const Frame frame = tiny_frame();
+  const std::string bytes = to_ppm(frame);
+  const std::size_t header = std::string("P6\n3 4\n255\n").size();
+  // Pixel (1, 2): offset (1*3 + 2) * 3.
+  const std::size_t at = header + (1 * 3 + 2) * 3;
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[at]), frame.at(1, 2).r);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[at + 1]), frame.at(1, 2).g);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[at + 2]), frame.at(1, 2).b);
+}
+
+TEST(Ppm, WriteCreatesReadableFile) {
+  const std::string path = ::testing::TempDir() + "colorbars_ppm_test.ppm";
+  ASSERT_TRUE(write_ppm(tiny_frame(), path));
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::string magic(2, '\0');
+  file.read(magic.data(), 2);
+  EXPECT_EQ(magic, "P6");
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, WriteFailsOnBadPath) {
+  EXPECT_FALSE(write_ppm(tiny_frame(), "/nonexistent-dir/x/y.ppm"));
+}
+
+TEST(Ppm, DownscaleAveragesRowGroups) {
+  Frame frame;
+  frame.rows = 4;
+  frame.columns = 1;
+  frame.pixels = {{0, 0, 0}, {100, 100, 100}, {40, 40, 40}, {60, 60, 60}};
+  frame.row_time_s = 1e-5;
+  const Frame small = downscale_rows(frame, 2);
+  ASSERT_EQ(small.rows, 2);
+  EXPECT_EQ(small.at(0, 0).g, 50);
+  EXPECT_EQ(small.at(1, 0).g, 50);
+  EXPECT_DOUBLE_EQ(small.row_time_s, 2e-5);
+}
+
+TEST(Ppm, DownscaleFactorOneIsIdentity) {
+  const Frame frame = tiny_frame();
+  const Frame same = downscale_rows(frame, 1);
+  EXPECT_EQ(same.pixels.size(), frame.pixels.size());
+  EXPECT_EQ(same.at(2, 1), frame.at(2, 1));
+}
+
+}  // namespace
+}  // namespace colorbars::camera

@@ -1,0 +1,81 @@
+#include "colorbars/camera/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::camera {
+namespace {
+
+TEST(Profiles, Nexus5MatchesTable1) {
+  const SensorProfile profile = nexus5_profile();
+  EXPECT_EQ(profile.name, "Nexus 5");
+  EXPECT_EQ(profile.rows, 2448);
+  EXPECT_DOUBLE_EQ(profile.fps, 30.0);
+  EXPECT_DOUBLE_EQ(profile.inter_frame_loss_ratio, 0.2312);
+}
+
+TEST(Profiles, Iphone5sMatchesTable1) {
+  const SensorProfile profile = iphone5s_profile();
+  EXPECT_EQ(profile.name, "iPhone 5S");
+  EXPECT_EQ(profile.rows, 1080);
+  EXPECT_DOUBLE_EQ(profile.fps, 30.0);
+  EXPECT_DOUBLE_EQ(profile.inter_frame_loss_ratio, 0.3727);
+}
+
+TEST(Profiles, IphoneLosesMoreThanNexus) {
+  // The paper's central device asymmetry.
+  EXPECT_GT(iphone5s_profile().inter_frame_loss_ratio,
+            nexus5_profile().inter_frame_loss_ratio);
+}
+
+TEST(Profiles, NexusHasNoisierColorPath) {
+  // Nexus 5 is modeled with stronger CFA crosstalk and noise, the cause
+  // of its higher SER in Fig. 9.
+  EXPECT_GT(nexus5_profile().read_noise, iphone5s_profile().read_noise);
+  EXPECT_LT(nexus5_profile().well_capacity, iphone5s_profile().well_capacity);
+}
+
+TEST(Profiles, TimingDecomposesFramePeriod) {
+  for (const SensorProfile& profile :
+       {nexus5_profile(), iphone5s_profile(), ideal_profile()}) {
+    EXPECT_NEAR(profile.readout_duration_s() + profile.gap_duration_s(),
+                profile.frame_period_s(), 1e-12)
+        << profile.name;
+    EXPECT_NEAR(profile.row_time_s() * profile.rows, profile.readout_duration_s(), 1e-12);
+  }
+}
+
+TEST(Profiles, BandRowsMatchesHandComputation) {
+  const SensorProfile nexus = nexus5_profile();
+  // Readout = (1 - 0.2312)/30 = 25.63 ms over 2448 rows -> 10.47 us/row;
+  // at 1000 sym/s a band is ~95.5 rows.
+  EXPECT_NEAR(nexus.row_time_s() * 1e6, 10.47, 0.01);
+  EXPECT_NEAR(nexus.band_rows(1000), 95.5, 0.5);
+  EXPECT_NEAR(nexus.band_rows(4000), 23.9, 0.2);
+}
+
+TEST(Profiles, BandRowsShrinkWithSymbolRate) {
+  // Fig. 3c: higher symbol frequency -> narrower bands.
+  const SensorProfile profile = iphone5s_profile();
+  EXPECT_GT(profile.band_rows(1000), profile.band_rows(3000));
+  EXPECT_NEAR(profile.band_rows(1000) / profile.band_rows(3000), 3.0, 1e-9);
+}
+
+TEST(Profiles, ColorResponsesDifferAcrossDevices) {
+  // Fig. 6a's premise: the two devices map XYZ to sensor RGB differently.
+  const auto nexus = nexus5_profile().xyz_to_sensor_rgb;
+  const auto iphone = iphone5s_profile().xyz_to_sensor_rgb;
+  double difference = 0.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      difference += std::abs(nexus(r, c) - iphone(r, c));
+    }
+  }
+  EXPECT_GT(difference, 0.1);
+}
+
+TEST(Profiles, IdealProfileHasNoVignetting) {
+  EXPECT_DOUBLE_EQ(ideal_profile().vignette_strength, 0.0);
+}
+
+}  // namespace
+}  // namespace colorbars::camera

@@ -1,0 +1,73 @@
+#include "colorbars/color/cie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::color {
+namespace {
+
+TEST(Cie, XyyToXyzAndBackRoundTrips) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Chromaticity c{rng.uniform(0.05, 0.7), rng.uniform(0.05, 0.7)};
+    const double Y = rng.uniform(0.01, 1.0);
+    const xyY back = xyz_to_xyy(xyy_to_xyz(c, Y));
+    EXPECT_NEAR(back.xy.x, c.x, 1e-12);
+    EXPECT_NEAR(back.xy.y, c.y, 1e-12);
+    EXPECT_NEAR(back.Y, Y, 1e-12);
+  }
+}
+
+TEST(Cie, BlackMapsToWhitePointWithZeroLuminance) {
+  const xyY black = xyz_to_xyy({0, 0, 0});
+  EXPECT_EQ(black.xy, kD65);
+  EXPECT_DOUBLE_EQ(black.Y, 0.0);
+}
+
+TEST(Cie, D65WhiteHasUnitLuminance) {
+  const XYZ white = d65_white_xyz();
+  EXPECT_DOUBLE_EQ(white.y, 1.0);
+  const xyY as_xyy = xyz_to_xyy(white);
+  EXPECT_NEAR(as_xyy.xy.x, kD65.x, 1e-12);
+  EXPECT_NEAR(as_xyy.xy.y, kD65.y, 1e-12);
+}
+
+TEST(Cie, XyDistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(xy_distance({0.0, 0.0}, {0.3, 0.4}), 0.5);
+  EXPECT_DOUBLE_EQ(xy_distance({0.2, 0.2}, {0.2, 0.2}), 0.0);
+}
+
+TEST(Cie, PrimariesMatrixMapsWhiteToWhite) {
+  const Chromaticity red{0.64, 0.33};
+  const Chromaticity green{0.30, 0.60};
+  const Chromaticity blue{0.15, 0.06};
+  const util::Mat3 m = rgb_to_xyz_matrix(red, green, blue, kD65);
+  const XYZ white = m * util::Vec3{1, 1, 1};
+  const XYZ expected = d65_white_xyz();
+  EXPECT_NEAR(white.x, expected.x, 1e-9);
+  EXPECT_NEAR(white.y, expected.y, 1e-9);
+  EXPECT_NEAR(white.z, expected.z, 1e-9);
+}
+
+TEST(Cie, PrimariesMatrixMapsUnitChannelsToPrimaries) {
+  const Chromaticity red{0.64, 0.33};
+  const Chromaticity green{0.30, 0.60};
+  const Chromaticity blue{0.15, 0.06};
+  const util::Mat3 m = rgb_to_xyz_matrix(red, green, blue, kD65);
+  const xyY r = xyz_to_xyy(m * util::Vec3{1, 0, 0});
+  EXPECT_NEAR(r.xy.x, red.x, 1e-9);
+  EXPECT_NEAR(r.xy.y, red.y, 1e-9);
+  const xyY g = xyz_to_xyy(m * util::Vec3{0, 1, 0});
+  EXPECT_NEAR(g.xy.x, green.x, 1e-9);
+  const xyY b = xyz_to_xyy(m * util::Vec3{0, 0, 1});
+  EXPECT_NEAR(b.xy.y, blue.y, 1e-9);
+}
+
+TEST(Cie, EqualEnergyWhiteIsTriangleCentroidOfUnitVectors) {
+  EXPECT_NEAR(kWhiteE.x, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(kWhiteE.y, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace colorbars::color

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "colorbars/color/lab.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::color {
+namespace {
+
+TEST(DeltaE94, ZeroForIdenticalColors) {
+  const Lab color{55, 20, -30};
+  EXPECT_DOUBLE_EQ(delta_e_94(color, color), 0.0);
+}
+
+TEST(DeltaE94, MatchesCie76ForPureLightnessDifferences) {
+  // With no chroma, the weighting terms are 1 and the metrics agree.
+  const Lab a{40, 0, 0};
+  const Lab b{70, 0, 0};
+  EXPECT_NEAR(delta_e_94(a, b), delta_e(a, b), 1e-9);
+}
+
+TEST(DeltaE94, DiscountsChromaDifferencesBetweenSaturatedColors) {
+  // Same absolute chroma step, once near neutral and once in saturated
+  // territory: CIE94 must penalize the saturated pair less.
+  const Lab neutral_a{50, 2, 0};
+  const Lab neutral_b{50, 12, 0};
+  const Lab saturated_a{50, 82, 0};
+  const Lab saturated_b{50, 92, 0};
+  EXPECT_LT(delta_e_94(saturated_a, saturated_b), delta_e_94(neutral_a, neutral_b));
+  // Whereas CIE76 sees them as equal.
+  EXPECT_NEAR(delta_e(neutral_a, neutral_b), delta_e(saturated_a, saturated_b), 1e-9);
+}
+
+TEST(DeltaE94, NeverExceedsCie76) {
+  // The S weights are >= 1, so CIE94 is a contraction of CIE76.
+  util::Xoshiro256 rng(909);
+  for (int i = 0; i < 500; ++i) {
+    const Lab p{rng.uniform(0, 100), rng.uniform(-80, 80), rng.uniform(-80, 80)};
+    const Lab q{rng.uniform(0, 100), rng.uniform(-80, 80), rng.uniform(-80, 80)};
+    EXPECT_LE(delta_e_94(p, q), delta_e(p, q) + 1e-9);
+  }
+}
+
+TEST(DeltaE94, NonNegative) {
+  util::Xoshiro256 rng(910);
+  for (int i = 0; i < 200; ++i) {
+    const Lab p{rng.uniform(0, 100), rng.uniform(-80, 80), rng.uniform(-80, 80)};
+    const Lab q{rng.uniform(0, 100), rng.uniform(-80, 80), rng.uniform(-80, 80)};
+    EXPECT_GE(delta_e_94(p, q), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace colorbars::color

@@ -1,0 +1,96 @@
+#include "colorbars/color/gamut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::color {
+namespace {
+
+TEST(GamutTriangle, RejectsCollinearPrimaries) {
+  EXPECT_THROW(GamutTriangle({0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}), std::invalid_argument);
+}
+
+TEST(GamutTriangle, VerticesHaveUnitBarycentricWeight) {
+  const GamutTriangle& gamut = default_led_gamut();
+  const Barycentric at_red = gamut.barycentric(gamut.red());
+  EXPECT_NEAR(at_red.r, 1.0, 1e-12);
+  EXPECT_NEAR(at_red.g, 0.0, 1e-12);
+  EXPECT_NEAR(at_red.b, 0.0, 1e-12);
+  const Barycentric at_green = gamut.barycentric(gamut.green());
+  EXPECT_NEAR(at_green.g, 1.0, 1e-12);
+  const Barycentric at_blue = gamut.barycentric(gamut.blue());
+  EXPECT_NEAR(at_blue.b, 1.0, 1e-12);
+}
+
+TEST(GamutTriangle, BarycentricWeightsAlwaysSumToOne) {
+  const GamutTriangle& gamut = default_led_gamut();
+  util::Xoshiro256 rng(33);
+  for (int i = 0; i < 500; ++i) {
+    const Chromaticity p{rng.uniform(0.0, 0.8), rng.uniform(0.0, 0.8)};
+    EXPECT_NEAR(gamut.barycentric(p).sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(GamutTriangle, AtInvertsBarycentric) {
+  const GamutTriangle& gamut = default_led_gamut();
+  util::Xoshiro256 rng(34);
+  for (int i = 0; i < 200; ++i) {
+    // Random point inside the triangle via normalized random weights.
+    double r = rng.uniform(0.01, 1.0);
+    double g = rng.uniform(0.01, 1.0);
+    double b = rng.uniform(0.01, 1.0);
+    const Chromaticity p = gamut.at({r, g, b});
+    const Barycentric w = gamut.barycentric(p);
+    const double sum = r + g + b;
+    EXPECT_NEAR(w.r, r / sum, 1e-9);
+    EXPECT_NEAR(w.g, g / sum, 1e-9);
+    EXPECT_NEAR(w.b, b / sum, 1e-9);
+  }
+}
+
+TEST(GamutTriangle, CentroidHasEqualWeights) {
+  const GamutTriangle& gamut = default_led_gamut();
+  const Barycentric w = gamut.barycentric(gamut.centroid());
+  EXPECT_NEAR(w.r, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(w.g, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(w.b, 1.0 / 3, 1e-12);
+}
+
+TEST(GamutTriangle, ContainsInteriorRejectsExterior) {
+  const GamutTriangle& gamut = default_led_gamut();
+  EXPECT_TRUE(gamut.contains(gamut.centroid()));
+  EXPECT_TRUE(gamut.contains(gamut.red()));
+  EXPECT_FALSE(gamut.contains({0.9, 0.9}));
+  EXPECT_FALSE(gamut.contains({0.0, 0.0}));
+}
+
+TEST(GamutTriangle, ContainsToleranceAbsorbsEdgeNoise) {
+  const GamutTriangle& gamut = default_led_gamut();
+  // A point epsilon outside an edge passes with a loose tolerance.
+  const Chromaticity just_outside{gamut.red().x + 1e-6, gamut.red().y};
+  EXPECT_TRUE(gamut.contains(just_outside, 1e-3));
+}
+
+TEST(GamutTriangle, MixtureOfVerticesStaysInside) {
+  const GamutTriangle& gamut = default_led_gamut();
+  util::Xoshiro256 rng(35);
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.uniform(0.0, 1.0);
+    const double g = rng.uniform(0.0, 1.0 - r);
+    const Chromaticity p = gamut.at({r, g, 1.0 - r - g});
+    EXPECT_TRUE(gamut.contains(p, 1e-9));
+  }
+}
+
+TEST(GamutTriangle, DefaultLedGamutIsWide) {
+  // The tri-LED gamut must comfortably exceed sRGB to give CSK symbols
+  // good separation.
+  const GamutTriangle& gamut = default_led_gamut();
+  EXPECT_GT(std::abs(gamut.signed_double_area()) / 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace colorbars::color

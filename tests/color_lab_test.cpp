@@ -1,0 +1,94 @@
+#include "colorbars/color/lab.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/color/srgb.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::color {
+namespace {
+
+TEST(Lab, WhiteIsLightnessOnly) {
+  const Lab white = xyz_to_lab(d65_white_xyz());
+  EXPECT_NEAR(white.L, 100.0, 1e-9);
+  EXPECT_NEAR(white.a, 0.0, 1e-9);
+  EXPECT_NEAR(white.b, 0.0, 1e-9);
+}
+
+TEST(Lab, BlackIsZero) {
+  const Lab black = xyz_to_lab({0, 0, 0});
+  EXPECT_NEAR(black.L, 0.0, 1e-9);
+}
+
+TEST(Lab, RoundTripsThroughXyz) {
+  util::Xoshiro256 rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const util::Vec3 rgb{rng.uniform(0.05, 1.0), rng.uniform(0.05, 1.0),
+                         rng.uniform(0.05, 1.0)};
+    const XYZ xyz = linear_srgb_to_xyz(rgb);
+    const XYZ back = lab_to_xyz(xyz_to_lab(xyz));
+    EXPECT_NEAR(back.x, xyz.x, 1e-9);
+    EXPECT_NEAR(back.y, xyz.y, 1e-9);
+    EXPECT_NEAR(back.z, xyz.z, 1e-9);
+  }
+}
+
+TEST(Lab, RedHasPositiveA) {
+  const Lab red = xyz_to_lab(linear_srgb_to_xyz({1, 0, 0}));
+  EXPECT_GT(red.a, 50.0);
+}
+
+TEST(Lab, GreenHasNegativeA) {
+  const Lab green = xyz_to_lab(linear_srgb_to_xyz({0, 1, 0}));
+  EXPECT_LT(green.a, -50.0);
+}
+
+TEST(Lab, BlueHasNegativeB) {
+  const Lab blue = xyz_to_lab(linear_srgb_to_xyz({0, 0, 1}));
+  EXPECT_LT(blue.b, -50.0);
+}
+
+TEST(Lab, YellowHasPositiveB) {
+  const Lab yellow = xyz_to_lab(linear_srgb_to_xyz({1, 1, 0}));
+  EXPECT_GT(yellow.b, 50.0);
+}
+
+TEST(Lab, LightnessIgnoresChromaticityForGrays) {
+  // Scaling a gray's luminance changes only L, never a/b.
+  for (const double scale : {0.1, 0.3, 0.6, 0.9}) {
+    const Lab gray = xyz_to_lab(d65_white_xyz() * scale);
+    EXPECT_NEAR(gray.a, 0.0, 1e-9);
+    EXPECT_NEAR(gray.b, 0.0, 1e-9);
+  }
+}
+
+TEST(Lab, BrightnessChangeMovesMostlyL) {
+  // The core receiver assumption (paper Fig. 8b): scaling brightness of a
+  // colored light moves L much more than (a, b).
+  const XYZ base = linear_srgb_to_xyz({0.8, 0.3, 0.2});
+  const Lab bright = xyz_to_lab(base);
+  const Lab dim = xyz_to_lab(base * 0.5);
+  const double chroma_shift = delta_e_ab(chroma_of(bright), chroma_of(dim));
+  const double lightness_shift = std::abs(bright.L - dim.L);
+  EXPECT_GT(lightness_shift, 1.2 * chroma_shift);
+}
+
+TEST(DeltaE, IsAMetric) {
+  const Lab p{50, 10, -10};
+  const Lab q{55, -5, 20};
+  const Lab r{40, 0, 0};
+  EXPECT_DOUBLE_EQ(delta_e(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(delta_e(p, q), delta_e(q, p));
+  EXPECT_LE(delta_e(p, r), delta_e(p, q) + delta_e(q, r));
+}
+
+TEST(DeltaE, AbPlaneDistanceIgnoresL) {
+  const Lab p{10, 3, 4};
+  const Lab q{90, 0, 0};
+  EXPECT_DOUBLE_EQ(delta_e_ab(chroma_of(p), chroma_of(q)), 5.0);
+}
+
+TEST(DeltaE, JndConstantMatchesPaper) { EXPECT_DOUBLE_EQ(kJndDeltaE, 2.3); }
+
+}  // namespace
+}  // namespace colorbars::color

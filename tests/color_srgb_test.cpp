@@ -1,0 +1,88 @@
+#include "colorbars/color/srgb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::color {
+namespace {
+
+TEST(Srgb, TransferFunctionRoundTrips) {
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double linear = rng.uniform();
+    EXPECT_NEAR(srgb_decode(srgb_encode(linear)), linear, 1e-12);
+  }
+}
+
+TEST(Srgb, TransferFunctionIsMonotonic) {
+  double previous = -1.0;
+  for (double v = 0.0; v <= 1.0; v += 0.001) {
+    const double encoded = srgb_encode(v);
+    EXPECT_GT(encoded, previous);
+    previous = encoded;
+  }
+}
+
+TEST(Srgb, EncodeEndpointsAreFixed) {
+  EXPECT_DOUBLE_EQ(srgb_encode(0.0), 0.0);
+  EXPECT_NEAR(srgb_encode(1.0), 1.0, 1e-12);
+}
+
+TEST(Srgb, LinearBranchMatchesAtKnee) {
+  // The two branches of the piecewise function meet near 0.0031308.
+  const double knee = 0.0031308;
+  EXPECT_NEAR(12.92 * knee, 1.055 * std::pow(knee, 1.0 / 2.4) - 0.055, 2e-4);
+}
+
+TEST(Srgb, MatrixRoundTripsXyz) {
+  util::Xoshiro256 rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const util::Vec3 rgb{rng.uniform(), rng.uniform(), rng.uniform()};
+    const util::Vec3 back = xyz_to_linear_srgb(linear_srgb_to_xyz(rgb));
+    EXPECT_NEAR(back.x, rgb.x, 1e-9);
+    EXPECT_NEAR(back.y, rgb.y, 1e-9);
+    EXPECT_NEAR(back.z, rgb.z, 1e-9);
+  }
+}
+
+TEST(Srgb, WhiteMapsToD65) {
+  const XYZ white = linear_srgb_to_xyz({1, 1, 1});
+  const xyY c = xyz_to_xyy(white);
+  EXPECT_NEAR(c.xy.x, kD65.x, 1e-6);
+  EXPECT_NEAR(c.xy.y, kD65.y, 1e-6);
+  EXPECT_NEAR(c.Y, 1.0, 1e-9);
+}
+
+TEST(Srgb, GreenHasHighestLuminance) {
+  const double red_y = linear_srgb_to_xyz({1, 0, 0}).y;
+  const double green_y = linear_srgb_to_xyz({0, 1, 0}).y;
+  const double blue_y = linear_srgb_to_xyz({0, 0, 1}).y;
+  EXPECT_GT(green_y, red_y);
+  EXPECT_GT(red_y, blue_y);
+}
+
+TEST(Srgb, Rgb8RoundTripsWithinQuantization) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const util::Vec3 encoded{rng.uniform(), rng.uniform(), rng.uniform()};
+    const util::Vec3 back = from_rgb8(to_rgb8(encoded));
+    EXPECT_NEAR(back.x, encoded.x, 0.5 / 255 + 1e-9);
+    EXPECT_NEAR(back.y, encoded.y, 0.5 / 255 + 1e-9);
+    EXPECT_NEAR(back.z, encoded.z, 0.5 / 255 + 1e-9);
+  }
+}
+
+TEST(Srgb, Rgb8ClampsOutOfRange) {
+  EXPECT_EQ(to_rgb8({2.0, -1.0, 0.5}), (Rgb8{255, 0, 128}));
+}
+
+TEST(Srgb, VectorEncodeClampsBeforeGamma) {
+  const util::Vec3 encoded = srgb_encode(util::Vec3{1.5, -0.2, 0.25});
+  EXPECT_DOUBLE_EQ(encoded.x, 1.0);
+  EXPECT_DOUBLE_EQ(encoded.y, 0.0);
+  EXPECT_NEAR(encoded.z, srgb_encode(0.25), 1e-12);
+}
+
+}  // namespace
+}  // namespace colorbars::color

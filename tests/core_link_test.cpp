@@ -1,0 +1,152 @@
+#include "colorbars/core/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::core {
+namespace {
+
+TEST(DeriveLinkCode, PacketFitsOneFramePeriod) {
+  for (const csk::CskOrder order : csk::all_orders()) {
+    for (const double rate : {1000.0, 2000.0, 3000.0, 4000.0}) {
+      const rs::CodeParameters code = derive_link_code(order, rate, 30.0, 0.25, 0.8);
+      ASSERT_GT(code.k, 0);
+      ASSERT_LT(code.k, code.n);
+      const csk::Constellation constellation(order);
+      const protocol::Packetizer packetizer({order, 0.8}, constellation);
+      const int slots = packetizer.data_packet_slots(code.n);
+      EXPECT_LE(slots, static_cast<int>(rate / 30.0) + 1)
+          << "order " << static_cast<int>(order) << " rate " << rate;
+    }
+  }
+}
+
+TEST(DeriveLinkCode, HigherLossMeansMoreParity) {
+  const rs::CodeParameters low = derive_link_code(csk::CskOrder::kCsk8, 4000, 30, 0.23, 0.8);
+  const rs::CodeParameters high = derive_link_code(csk::CskOrder::kCsk8, 4000, 30, 0.37, 0.8);
+  EXPECT_GT(high.n - high.k, low.n - low.k);
+}
+
+TEST(LinkConfig, TransmitterAndReceiverAgree) {
+  LinkConfig config;
+  config.order = csk::CskOrder::kCsk16;
+  config.symbol_rate_hz = 3000;
+  const auto tx = config.transmitter_config();
+  const auto rx = config.receiver_config();
+  EXPECT_EQ(tx.rs_n, rx.rs_n);
+  EXPECT_EQ(tx.rs_k, rx.rs_k);
+  EXPECT_EQ(tx.format.order, rx.format.order);
+  EXPECT_DOUBLE_EQ(tx.format.illumination_ratio, rx.format.illumination_ratio);
+}
+
+TEST(LinkSimulator, PayloadTransferRecoversMostBytes) {
+  LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = 2000;
+  config.profile = camera::ideal_profile();
+  LinkSimulator sim(config);
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  const LinkRunResult result = sim.run_payload(payload);
+  EXPECT_GT(result.recovered_bytes, payload.size() / 2);
+  EXPECT_GT(result.goodput_bps(), 0.0);
+}
+
+TEST(LinkSimulator, SerIsLowForSmallConstellations) {
+  // Fig. 9 headline: 4/8-CSK stay near zero SER.
+  for (const csk::CskOrder order : {csk::CskOrder::kCsk4, csk::CskOrder::kCsk8}) {
+    LinkConfig config;
+    config.order = order;
+    config.symbol_rate_hz = 2000;
+    LinkSimulator sim(config);
+    const SerResult result = sim.run_ser(1500);
+    EXPECT_LT(result.ser(), 0.01) << "order " << static_cast<int>(order);
+  }
+}
+
+TEST(LinkSimulator, SerGrowsWithOrder) {
+  double previous = -1.0;
+  for (const csk::CskOrder order : {csk::CskOrder::kCsk8, csk::CskOrder::kCsk32}) {
+    LinkConfig config;
+    config.order = order;
+    config.symbol_rate_hz = 4000;
+    LinkSimulator sim(config);
+    const SerResult result = sim.run_ser(1500);
+    EXPECT_GT(result.ser(), previous);
+    previous = result.ser();
+  }
+}
+
+TEST(LinkSimulator, MeasuredLossMatchesProfile) {
+  for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
+    LinkConfig config;
+    config.profile = profile;
+    config.symbol_rate_hz = 2000;
+    LinkSimulator sim(config);
+    const SerResult result = sim.run_ser(2000);
+    EXPECT_NEAR(result.inter_frame_loss_ratio, profile.inter_frame_loss_ratio, 0.05)
+        << profile.name;
+  }
+}
+
+TEST(LinkSimulator, ThroughputScalesWithBitsPerSymbol) {
+  double previous = 0.0;
+  for (const csk::CskOrder order :
+       {csk::CskOrder::kCsk4, csk::CskOrder::kCsk8, csk::CskOrder::kCsk16}) {
+    LinkConfig config;
+    config.order = order;
+    config.symbol_rate_hz = 2000;
+    LinkSimulator sim(config);
+    const ThroughputResult result = sim.run_throughput(1.0);
+    EXPECT_GT(result.throughput_bps(), previous) << static_cast<int>(order);
+    previous = result.throughput_bps();
+  }
+}
+
+TEST(LinkSimulator, ThroughputExcludesWhiteSlots) {
+  LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = 2000;
+  config.illumination_ratio = 0.8;
+  LinkSimulator sim(config);
+  const ThroughputResult result = sim.run_throughput(1.0);
+  // Data slots sent should be ~phi * S * duration.
+  EXPECT_NEAR(static_cast<double>(result.data_slots_sent), 0.8 * 2000.0, 25.0);
+}
+
+TEST(LinkSimulator, NexusOutperformsIphoneOnThroughput) {
+  // Fig. 10: despite the iPhone's better color fidelity, its larger
+  // inter-frame gap costs it raw throughput.
+  LinkConfig nexus;
+  nexus.order = csk::CskOrder::kCsk16;
+  nexus.symbol_rate_hz = 3000;
+  nexus.profile = camera::nexus5_profile();
+  LinkConfig iphone = nexus;
+  iphone.profile = camera::iphone5s_profile();
+  const ThroughputResult nexus_result = LinkSimulator(nexus).run_throughput(1.5);
+  const ThroughputResult iphone_result = LinkSimulator(iphone).run_throughput(1.5);
+  EXPECT_GT(nexus_result.throughput_bps(), iphone_result.throughput_bps());
+}
+
+TEST(LinkSimulator, GoodputIsPositiveAtModerateRates) {
+  LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = 3000;
+  LinkSimulator sim(config);
+  const LinkRunResult result = sim.run_goodput(1.5);
+  EXPECT_GT(result.goodput_bps(), 500.0);
+}
+
+TEST(LinkSimulator, ResultsAreReproducibleForSameSeed) {
+  LinkConfig config;
+  config.symbol_rate_hz = 2000;
+  config.seed = 777;
+  const SerResult a = LinkSimulator(config).run_ser(800);
+  const SerResult b = LinkSimulator(config).run_ser(800);
+  EXPECT_EQ(a.symbols_observed, b.symbols_observed);
+  EXPECT_EQ(a.symbol_errors, b.symbol_errors);
+}
+
+}  // namespace
+}  // namespace colorbars::core

@@ -1,0 +1,99 @@
+#include "colorbars/csk/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::csk {
+namespace {
+
+class MapperAllOrders : public ::testing::TestWithParam<CskOrder> {
+ protected:
+  Constellation constellation_{GetParam()};
+  SymbolMapper mapper_{constellation_};
+};
+
+TEST_P(MapperAllOrders, LabelingIsABijection) {
+  std::set<std::uint32_t> labels;
+  std::set<int> symbols;
+  for (int i = 0; i < mapper_.symbol_count(); ++i) {
+    labels.insert(mapper_.label(i));
+    symbols.insert(mapper_.symbol(mapper_.label(i)));
+  }
+  EXPECT_EQ(labels.size(), static_cast<std::size_t>(mapper_.symbol_count()));
+  EXPECT_EQ(symbols.size(), static_cast<std::size_t>(mapper_.symbol_count()));
+}
+
+TEST_P(MapperAllOrders, LabelSymbolInverses) {
+  for (int i = 0; i < mapper_.symbol_count(); ++i) {
+    EXPECT_EQ(mapper_.symbol(mapper_.label(i)), i);
+  }
+  for (std::uint32_t label = 0;
+       label < static_cast<std::uint32_t>(mapper_.symbol_count()); ++label) {
+    EXPECT_EQ(mapper_.label(mapper_.symbol(label)), label);
+  }
+}
+
+TEST_P(MapperAllOrders, LabelsFitBitWidth) {
+  for (int i = 0; i < mapper_.symbol_count(); ++i) {
+    EXPECT_LT(mapper_.label(i), 1u << mapper_.bits());
+  }
+}
+
+TEST_P(MapperAllOrders, MapUnmapRoundTripsBytes) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(mapper_.symbol_count()) * 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> data(1 + rng.below(100));
+    for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+    const std::vector<int> symbols = mapper_.map_bytes(data);
+    const std::vector<std::uint8_t> back = mapper_.unmap_symbols(symbols, data.size());
+    EXPECT_EQ(back, data);
+  }
+}
+
+TEST_P(MapperAllOrders, SymbolCountMatchesBitMath) {
+  const std::vector<std::uint8_t> data(30, 0xa5);  // 240 bits
+  const std::vector<int> symbols = mapper_.map_bytes(data);
+  const std::size_t expected =
+      (240 + static_cast<std::size_t>(mapper_.bits()) - 1) /
+      static_cast<std::size_t>(mapper_.bits());
+  EXPECT_EQ(symbols.size(), expected);
+}
+
+TEST_P(MapperAllOrders, GrayLabelingKeepsNeighborsClose) {
+  // A good labeling puts spatially nearest neighbors within ~1-2 bits;
+  // a random labeling averages bits/2 per neighbor.
+  const double mean_hamming = mapper_.mean_neighbor_hamming(constellation_);
+  EXPECT_LE(mean_hamming, 2.0) << "order " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MapperAllOrders,
+                         ::testing::Values(CskOrder::kCsk4, CskOrder::kCsk8,
+                                           CskOrder::kCsk16, CskOrder::kCsk32),
+                         [](const auto& info) {
+                           return "Csk" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(GrayCode, AdjacentCodesDifferInOneBit) {
+  for (std::uint32_t n = 0; n < 63; ++n) {
+    EXPECT_EQ(hamming(gray_code(n), gray_code(n + 1)), 1);
+  }
+}
+
+TEST(GrayCode, IsBijectiveOver5Bits) {
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t n = 0; n < 32; ++n) seen.insert(gray_code(n));
+  EXPECT_EQ(seen.size(), 32u);
+  for (const std::uint32_t code : seen) EXPECT_LT(code, 32u);
+}
+
+TEST(Hamming, CountsBitDifferences) {
+  EXPECT_EQ(hamming(0b0000, 0b0000), 0);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming(0b111, 0b110), 1);
+}
+
+}  // namespace
+}  // namespace colorbars::csk

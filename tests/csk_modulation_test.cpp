@@ -1,0 +1,72 @@
+#include "colorbars/csk/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/csk/constellation.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::csk {
+namespace {
+
+TEST(Modulation, VertexSymbolsDriveSingleEmitter) {
+  const auto& gamut = color::default_led_gamut();
+  const LedDrive red = drive_for(gamut, gamut.red());
+  EXPECT_NEAR(red.red, 1.0, 1e-9);
+  EXPECT_NEAR(red.green, 0.0, 1e-9);
+  EXPECT_NEAR(red.blue, 0.0, 1e-9);
+  const LedDrive blue = drive_for(gamut, gamut.blue());
+  EXPECT_NEAR(blue.blue, 1.0, 1e-9);
+}
+
+TEST(Modulation, CentroidDrivesAllEmittersEqually) {
+  const auto& gamut = color::default_led_gamut();
+  const LedDrive drive = drive_for(gamut, gamut.centroid());
+  EXPECT_NEAR(drive.red, 1.0 / 3, 1e-9);
+  EXPECT_NEAR(drive.green, 1.0 / 3, 1e-9);
+  EXPECT_NEAR(drive.blue, 1.0 / 3, 1e-9);
+}
+
+TEST(Modulation, EveryDataSymbolHasUnitTotalDrive) {
+  // Constant total drive = constant emitted power = no brightness
+  // flicker between data symbols.
+  for (const CskOrder order : all_orders()) {
+    const Constellation constellation(order);
+    for (const auto& point : constellation.points()) {
+      const LedDrive drive = drive_for(constellation.gamut(), point);
+      EXPECT_NEAR(drive.total(), 1.0, 1e-9);
+      EXPECT_GE(drive.red, 0.0);
+      EXPECT_GE(drive.green, 0.0);
+      EXPECT_GE(drive.blue, 0.0);
+    }
+  }
+}
+
+TEST(Modulation, RejectsOutOfGamutTargets) {
+  const auto& gamut = color::default_led_gamut();
+  EXPECT_THROW((void)drive_for(gamut, {0.9, 0.05}), std::invalid_argument);
+}
+
+TEST(Modulation, ChromaticityOfInvertsDriveFor) {
+  const auto& gamut = color::default_led_gamut();
+  util::Xoshiro256 rng(88);
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.uniform(0.01, 1.0);
+    const double g = rng.uniform(0.01, 1.0);
+    const double b = rng.uniform(0.01, 1.0);
+    const color::Chromaticity target = gamut.at({r, g, b});
+    const LedDrive drive = drive_for(gamut, target);
+    const color::Chromaticity back = chromaticity_of(gamut, drive);
+    EXPECT_NEAR(back.x, target.x, 1e-9);
+    EXPECT_NEAR(back.y, target.y, 1e-9);
+  }
+}
+
+TEST(Modulation, WhiteDriveIsBalanced) {
+  EXPECT_NEAR(white_drive().total(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(white_drive().red, white_drive().green);
+}
+
+TEST(Modulation, OffDriveIsDark) { EXPECT_DOUBLE_EQ(off_drive().total(), 0.0); }
+
+}  // namespace
+}  // namespace colorbars::csk

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "colorbars/csk/constellation.hpp"
+
+namespace colorbars::csk {
+namespace {
+
+double min_distance(const std::vector<color::Chromaticity>& points) {
+  double best = 1e9;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      best = std::min(best, color::xy_distance(points[i], points[j]));
+    }
+  }
+  return best;
+}
+
+class OptimizeAllOrders : public ::testing::TestWithParam<CskOrder> {};
+
+TEST_P(OptimizeAllOrders, NeverReducesMinimumDistance) {
+  const Constellation standard(GetParam());
+  const auto optimized =
+      optimize_constellation(standard.gamut(), standard.points(), 150);
+  EXPECT_GE(min_distance(optimized), min_distance(standard.points()) - 1e-12);
+}
+
+TEST_P(OptimizeAllOrders, KeepsAllPointsInsideGamut) {
+  const Constellation standard(GetParam());
+  const auto optimized =
+      optimize_constellation(standard.gamut(), standard.points(), 150);
+  for (const auto& point : optimized) {
+    EXPECT_TRUE(standard.gamut().contains(point, 1e-9));
+  }
+}
+
+TEST_P(OptimizeAllOrders, KeepsGamutVerticesAnchored) {
+  const Constellation standard(GetParam());
+  const auto optimized =
+      optimize_constellation(standard.gamut(), standard.points(), 150);
+  const auto& gamut = standard.gamut();
+  for (const auto& vertex : {gamut.red(), gamut.green(), gamut.blue()}) {
+    bool found = false;
+    for (const auto& point : optimized) {
+      if (color::xy_distance(point, vertex) < 1e-9) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(OptimizeAllOrders, PreservesPointCount) {
+  const Constellation standard(GetParam());
+  const auto optimized =
+      optimize_constellation(standard.gamut(), standard.points(), 150);
+  EXPECT_EQ(optimized.size(), standard.points().size());
+}
+
+TEST_P(OptimizeAllOrders, IsDeterministic) {
+  const Constellation standard(GetParam());
+  const auto a = optimize_constellation(standard.gamut(), standard.points(), 100);
+  const auto b = optimize_constellation(standard.gamut(), standard.points(), 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OptimizeAllOrders,
+                         ::testing::Values(CskOrder::kCsk4, CskOrder::kCsk8,
+                                           CskOrder::kCsk16, CskOrder::kCsk32),
+                         [](const auto& info) {
+                           return "Csk" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(Optimize, ImprovesTheStandardEightCskLayout) {
+  // The 802.15.7-style 8-CSK lattice is known to be suboptimal for
+  // max-min distance; the optimizer must find real headroom.
+  const Constellation standard(CskOrder::kCsk8);
+  const auto optimized =
+      optimize_constellation(standard.gamut(), standard.points(), 400);
+  EXPECT_GT(min_distance(optimized), 1.2 * min_distance(standard.points()));
+}
+
+TEST(Optimize, TinySetsPassThrough) {
+  const auto& gamut = color::default_led_gamut();
+  const std::vector<color::Chromaticity> three{gamut.red(), gamut.green(), gamut.blue()};
+  EXPECT_EQ(optimize_constellation(gamut, three, 50), three);
+}
+
+}  // namespace
+}  // namespace colorbars::csk

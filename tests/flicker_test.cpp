@@ -1,0 +1,140 @@
+#include "colorbars/flicker/bloch.hpp"
+#include "colorbars/flicker/requirement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/csk/constellation.hpp"
+#include "colorbars/protocol/symbols.hpp"
+
+namespace colorbars::flicker {
+namespace {
+
+led::EmissionTrace constant_trace(const led::Vec3& xyz, double duration_s) {
+  led::EmissionTrace trace;
+  trace.append(duration_s, xyz);
+  return trace;
+}
+
+TEST(RadianceToLab, DarknessIsBlack) {
+  const color::Lab lab = radiance_to_lab({0, 0, 0});
+  EXPECT_DOUBLE_EQ(lab.L, 0.0);
+}
+
+TEST(RadianceToLab, BalancedWhiteIsNearNeutral) {
+  const led::TriLed led;
+  const color::Lab white = radiance_to_lab(led.radiance(csk::white_drive()));
+  EXPECT_GT(white.L, 60.0);
+  EXPECT_LT(std::abs(white.a), 12.0);
+  EXPECT_LT(std::abs(white.b), 12.0);
+}
+
+TEST(RadianceToLab, PureRedIsStronglyChromatic) {
+  const led::TriLed led;
+  const csk::LedDrive red = csk::drive_for(led.gamut(), led.gamut().red());
+  const color::Lab lab = radiance_to_lab(led.radiance(red));
+  EXPECT_GT(lab.a, 40.0);
+}
+
+TEST(BlochObserver, RejectsInvalidConfig) {
+  ObserverConfig bad;
+  bad.critical_duration_s = 0.0;
+  EXPECT_THROW(BlochObserver{bad}, std::invalid_argument);
+}
+
+TEST(BlochObserver, SteadyWhiteIsFlickerFree) {
+  const led::TriLed led;
+  const led::Vec3 white = led.radiance(csk::white_drive());
+  const BlochObserver observer;
+  const FlickerReport report =
+      observer.scan(constant_trace(white, 1.0), radiance_to_lab(white));
+  EXPECT_FALSE(report.perceptible);
+  EXPECT_NEAR(report.max_delta_e, 0.0, 1e-9);
+}
+
+TEST(BlochObserver, SteadyRedAgainstWhiteIsPerceptible) {
+  const led::TriLed led;
+  const led::Vec3 white = led.radiance(csk::white_drive());
+  const led::Vec3 red = led.radiance(csk::drive_for(led.gamut(), led.gamut().red()));
+  const BlochObserver observer;
+  const FlickerReport report =
+      observer.scan(constant_trace(red, 1.0), radiance_to_lab(white));
+  EXPECT_TRUE(report.perceptible);
+  EXPECT_GT(report.max_delta_e, 20.0);
+}
+
+TEST(BlochObserver, FastRgbAlternationAveragesToWhite) {
+  // The paper's Fig. 3a argument: R, G, B cycled far above the critical
+  // rate is perceived as their temporal mean.
+  const led::TriLed led;
+  const auto& gamut = led.gamut();
+  led::EmissionTrace trace;
+  const double symbol = 1.0 / 3000.0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto& vertex = i % 3 == 0 ? gamut.red() : (i % 3 == 1 ? gamut.green() : gamut.blue());
+    trace.append(symbol, led.radiance(csk::drive_for(gamut, vertex)));
+  }
+  const BlochObserver observer;
+  const FlickerReport report =
+      observer.scan(trace, radiance_to_lab(led.radiance(csk::white_drive())));
+  EXPECT_FALSE(report.perceptible) << "max dE " << report.max_delta_e;
+}
+
+TEST(BlochObserver, SlowRgbAlternationFlickers) {
+  // The same alternation at 20 Hz is far below the fusion rate.
+  const led::TriLed led;
+  const auto& gamut = led.gamut();
+  led::EmissionTrace trace;
+  for (int i = 0; i < 30; ++i) {
+    const auto& vertex = i % 3 == 0 ? gamut.red() : (i % 3 == 1 ? gamut.green() : gamut.blue());
+    trace.append(1.0 / 20.0, led.radiance(csk::drive_for(gamut, vertex)));
+  }
+  const BlochObserver observer;
+  const FlickerReport report =
+      observer.scan(trace, radiance_to_lab(led.radiance(csk::white_drive())));
+  EXPECT_TRUE(report.perceptible);
+}
+
+TEST(BlochObserver, ShortTraceUsesSingleWindow) {
+  const led::TriLed led;
+  const led::Vec3 white = led.radiance(csk::white_drive());
+  const BlochObserver observer;
+  const FlickerReport report =
+      observer.scan(constant_trace(white, 0.001), radiance_to_lab(white));
+  EXPECT_EQ(report.windows_scanned, 1);
+}
+
+TEST(WhiteRequirement, MoreWhiteNeededAtLowerRates) {
+  // The headline property of Fig. 3b: the required white fraction is
+  // non-increasing in symbol frequency.
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  RequirementConfig config;
+  config.stream_duration_s = 0.6;
+  config.fraction_step = 0.1;
+  const auto curve =
+      white_requirement_curve(constellation, led, {500, 2000, 5000}, config);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GE(curve[0].min_white_fraction, curve[1].min_white_fraction);
+  EXPECT_GE(curve[1].min_white_fraction, curve[2].min_white_fraction);
+}
+
+TEST(WhiteRequirement, HighRateNeedsLittleWhite) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  RequirementConfig config;
+  config.stream_duration_s = 0.6;
+  const auto requirement = min_white_fraction(constellation, led, 5000, config);
+  EXPECT_LE(requirement.min_white_fraction, 0.55);
+}
+
+TEST(WhiteRequirement, ChosenFractionIsActuallyFlickerFree) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  RequirementConfig config;
+  config.stream_duration_s = 0.5;
+  const auto requirement = min_white_fraction(constellation, led, 1000, config);
+  EXPECT_LE(requirement.max_delta_e_at_min, config.observer.delta_e_threshold);
+}
+
+}  // namespace
+}  // namespace colorbars::flicker

@@ -1,0 +1,131 @@
+#include "colorbars/gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::gf {
+namespace {
+
+GF256 random_element(util::Xoshiro256& rng) {
+  return GF256(static_cast<std::uint8_t>(rng.below(256)));
+}
+
+GF256 random_nonzero(util::Xoshiro256& rng) {
+  return GF256(static_cast<std::uint8_t>(1 + rng.below(255)));
+}
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256(0x53) + GF256(0xca), GF256(0x99));
+  EXPECT_EQ(GF256(0xff) - GF256(0xff), kZero);
+}
+
+TEST(GF256, KnownProduct) {
+  // 0x53 * 0xca = 0x01 in GF(2^8) with poly 0x11D... verify a standard
+  // identity instead: alpha * alpha^254 = 1.
+  EXPECT_EQ(alpha_pow(1) * alpha_pow(254), kOne);
+  EXPECT_EQ(GF256(2) * GF256(3), GF256(6));
+  EXPECT_EQ(GF256(0x80) * GF256(2), GF256(0x1D));  // overflow reduces by poly
+}
+
+TEST(GF256, MultiplicationIsCommutativeAndAssociative) {
+  util::Xoshiro256 rng(50);
+  for (int i = 0; i < 500; ++i) {
+    const GF256 a = random_element(rng);
+    const GF256 b = random_element(rng);
+    const GF256 c = random_element(rng);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+  }
+}
+
+TEST(GF256, DistributiveLaw) {
+  util::Xoshiro256 rng(51);
+  for (int i = 0; i < 500; ++i) {
+    const GF256 a = random_element(rng);
+    const GF256 b = random_element(rng);
+    const GF256 c = random_element(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  util::Xoshiro256 rng(52);
+  for (int i = 0; i < 100; ++i) {
+    const GF256 a = random_element(rng);
+    EXPECT_EQ(a * kOne, a);
+    EXPECT_EQ(a * kZero, kZero);
+  }
+}
+
+TEST(GF256, EveryNonzeroElementHasInverse) {
+  for (int v = 1; v < 256; ++v) {
+    const GF256 a(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(a * a.inverse(), kOne) << "v=" << v;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  util::Xoshiro256 rng(53);
+  for (int i = 0; i < 500; ++i) {
+    const GF256 a = random_element(rng);
+    const GF256 b = random_nonzero(rng);
+    EXPECT_EQ((a * b) / b, a);
+  }
+}
+
+TEST(GF256, AlphaPowersCycleWithPeriod255) {
+  EXPECT_EQ(alpha_pow(0), kOne);
+  EXPECT_EQ(alpha_pow(255), kOne);
+  EXPECT_EQ(alpha_pow(256), alpha_pow(1));
+  EXPECT_EQ(alpha_pow(-1), alpha_pow(254));
+}
+
+TEST(GF256, AlphaGeneratesWholeGroup) {
+  std::array<bool, 256> seen{};
+  for (int i = 0; i < 255; ++i) {
+    const GF256 v = alpha_pow(i);
+    EXPECT_FALSE(seen[v.value()]) << "alpha^" << i << " repeats";
+    seen[v.value()] = true;
+  }
+}
+
+TEST(GF256, LogInvertsExp) {
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_EQ(alpha_log(alpha_pow(i)), i);
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  util::Xoshiro256 rng(54);
+  for (int trial = 0; trial < 50; ++trial) {
+    const GF256 a = random_nonzero(rng);
+    GF256 product = kOne;
+    for (int e = 0; e < 10; ++e) {
+      EXPECT_EQ(a.pow(e), product);
+      product *= a;
+    }
+  }
+}
+
+TEST(GF256, PowHandlesNegativeExponents) {
+  util::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 100; ++trial) {
+    const GF256 a = random_nonzero(rng);
+    EXPECT_EQ(a.pow(-1), a.inverse());
+    EXPECT_EQ(a.pow(-3) * a.pow(3), kOne);
+  }
+}
+
+TEST(GF256, FrobeniusSquareIsLinear) {
+  // In characteristic 2, (a + b)^2 = a^2 + b^2.
+  util::Xoshiro256 rng(56);
+  for (int i = 0; i < 200; ++i) {
+    const GF256 a = random_element(rng);
+    const GF256 b = random_element(rng);
+    EXPECT_EQ((a + b).pow(2), a.pow(2) + b.pow(2));
+  }
+}
+
+}  // namespace
+}  // namespace colorbars::gf

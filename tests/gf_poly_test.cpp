@@ -1,0 +1,146 @@
+#include "colorbars/gf/poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::gf {
+namespace {
+
+Poly random_poly(util::Xoshiro256& rng, std::size_t max_degree) {
+  std::vector<GF256> coeffs(1 + rng.below(max_degree + 1));
+  for (auto& c : coeffs) c = GF256(static_cast<std::uint8_t>(rng.below(256)));
+  return Poly(std::move(coeffs));
+}
+
+TEST(Poly, ZeroPolynomialProperties) {
+  const Poly zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_EQ(zero.eval(GF256(17)), kZero);
+  EXPECT_EQ(zero.leading(), kZero);
+}
+
+TEST(Poly, TrimsLeadingZeros) {
+  const Poly p{GF256(1), GF256(2), kZero, kZero};
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(p.leading(), GF256(2));
+}
+
+TEST(Poly, MonomialHasSingleTerm) {
+  const Poly m = Poly::monomial(GF256(5), 3);
+  EXPECT_EQ(m.degree(), 3);
+  EXPECT_EQ(m.coeff(3), GF256(5));
+  EXPECT_EQ(m.coeff(2), kZero);
+  EXPECT_TRUE(Poly::monomial(kZero, 4).is_zero());
+}
+
+TEST(Poly, EvalMatchesHornerByHand) {
+  // p(x) = 3 + 2x + x^2 over GF(256); p(2) = 3 + 4 + 4 = 3 (XOR adds).
+  const Poly p{GF256(3), GF256(2), GF256(1)};
+  const GF256 x(2);
+  const GF256 expected = GF256(3) + GF256(2) * x + x * x;
+  EXPECT_EQ(p.eval(x), expected);
+}
+
+TEST(Poly, AdditionIsCharacteristic2) {
+  util::Xoshiro256 rng(60);
+  for (int i = 0; i < 100; ++i) {
+    const Poly p = random_poly(rng, 12);
+    EXPECT_TRUE((p + p).is_zero());
+  }
+}
+
+TEST(Poly, MultiplicationDegreesAdd) {
+  util::Xoshiro256 rng(61);
+  for (int i = 0; i < 100; ++i) {
+    Poly p = random_poly(rng, 8);
+    Poly q = random_poly(rng, 8);
+    if (p.is_zero() || q.is_zero()) continue;
+    EXPECT_EQ((p * q).degree(), p.degree() + q.degree());
+  }
+}
+
+TEST(Poly, MultiplicationEvaluationHomomorphism) {
+  util::Xoshiro256 rng(62);
+  for (int i = 0; i < 200; ++i) {
+    const Poly p = random_poly(rng, 10);
+    const Poly q = random_poly(rng, 10);
+    const GF256 x(static_cast<std::uint8_t>(rng.below(256)));
+    EXPECT_EQ((p * q).eval(x), p.eval(x) * q.eval(x));
+    EXPECT_EQ((p + q).eval(x), p.eval(x) + q.eval(x));
+  }
+}
+
+TEST(Poly, DivmodReconstructsDividend) {
+  util::Xoshiro256 rng(63);
+  for (int i = 0; i < 300; ++i) {
+    const Poly dividend = random_poly(rng, 20);
+    Poly divisor = random_poly(rng, 8);
+    if (divisor.is_zero()) divisor = Poly{kOne};
+    const auto [quotient, remainder] = Poly::divmod(dividend, divisor);
+    EXPECT_EQ(quotient * divisor + remainder, dividend);
+    EXPECT_LT(remainder.degree(), divisor.degree() < 0 ? 0 : divisor.degree());
+  }
+}
+
+TEST(Poly, DivisionByLinearFactorLeavesValueAsRemainder) {
+  // p(x) mod (x - r) == p(r).
+  util::Xoshiro256 rng(64);
+  for (int i = 0; i < 100; ++i) {
+    const Poly p = random_poly(rng, 10);
+    const GF256 root(static_cast<std::uint8_t>(rng.below(256)));
+    const Poly divisor{root, kOne};  // (x - root) == (x + root)
+    const auto [quotient, remainder] = Poly::divmod(p, divisor);
+    EXPECT_EQ(remainder.is_zero() ? kZero : remainder.coeff(0), p.eval(root));
+  }
+}
+
+TEST(Poly, DerivativeKillsEvenTerms) {
+  // d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+  const Poly p{GF256(7), GF256(9), GF256(11), GF256(13)};
+  const Poly d = p.derivative();
+  EXPECT_EQ(d.coeff(0), GF256(9));
+  EXPECT_EQ(d.coeff(1), kZero);
+  EXPECT_EQ(d.coeff(2), GF256(13));
+}
+
+TEST(Poly, ScaledMultipliesEveryCoefficient) {
+  const Poly p{GF256(1), GF256(2), GF256(3)};
+  const Poly scaled = p.scaled(GF256(4));
+  EXPECT_EQ(scaled.coeff(0), GF256(4));
+  EXPECT_EQ(scaled.coeff(1), GF256(8));
+  EXPECT_EQ(scaled.coeff(2), GF256(12));
+}
+
+TEST(Poly, ShiftMultipliesByPowerOfX) {
+  const Poly p{GF256(5), GF256(6)};
+  const Poly shifted = p.shifted(2);
+  EXPECT_EQ(shifted.degree(), 3);
+  EXPECT_EQ(shifted.coeff(0), kZero);
+  EXPECT_EQ(shifted.coeff(2), GF256(5));
+  EXPECT_EQ(shifted.coeff(3), GF256(6));
+}
+
+TEST(RsGenerator, HasAlphaPowersAsRoots) {
+  for (const std::size_t parity : {2u, 4u, 8u, 16u, 32u}) {
+    const Poly g = rs_generator_poly(parity);
+    EXPECT_EQ(g.degree(), static_cast<int>(parity));
+    EXPECT_EQ(g.leading(), kOne);  // monic
+    for (std::size_t j = 0; j < parity; ++j) {
+      EXPECT_EQ(g.eval(alpha_pow(static_cast<int>(j))), kZero)
+          << "parity=" << parity << " root " << j;
+    }
+    // alpha^parity must NOT be a root.
+    EXPECT_NE(g.eval(alpha_pow(static_cast<int>(parity))), kZero);
+  }
+}
+
+TEST(RsGenerator, RespectsFirstRootOffset) {
+  const Poly g = rs_generator_poly(4, 1);
+  for (int j = 1; j <= 4; ++j) EXPECT_EQ(g.eval(alpha_pow(j)), kZero);
+  EXPECT_NE(g.eval(alpha_pow(0)), kZero);
+}
+
+}  // namespace
+}  // namespace colorbars::gf

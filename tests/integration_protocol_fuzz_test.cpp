@@ -1,0 +1,162 @@
+// Camera-free protocol integration fuzz: drives the full packetizer /
+// parser / RS stack over a *synthetic* ideal channel (each transmitted
+// slot becomes a clean observation with that symbol's true color). This
+// isolates the protocol logic from camera noise, so it can sweep far
+// more (order, phi, payload size, gap placement) combinations per second
+// than the end-to-end tests.
+
+#include <gtest/gtest.h>
+
+#include "colorbars/flicker/bloch.hpp"
+#include "colorbars/led/tri_led.hpp"
+#include "colorbars/rx/receiver.hpp"
+#include "colorbars/tx/transmitter.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::rx {
+namespace {
+
+/// Builds the clean observation a perfect camera would produce for one
+/// transmitted channel symbol.
+SlotObservation ideal_observation(const protocol::ChannelSymbol& symbol,
+                                  const csk::Constellation& constellation,
+                                  const led::TriLed& led) {
+  SlotObservation observation;
+  const csk::LedDrive drive = protocol::drive_of(symbol, constellation);
+  const color::Lab lab = flicker::radiance_to_lab(led.radiance(drive));
+  observation.chroma = color::chroma_of(lab);
+  observation.lightness = lab.L;
+  observation.rgb = {lab.L / 100.0, lab.L / 100.0, lab.L / 100.0};
+  return observation;
+}
+
+SlotTimeline synthesize_timeline(const std::vector<protocol::ChannelSymbol>& slots,
+                                 const csk::Constellation& constellation,
+                                 const led::TriLed& led) {
+  SlotTimeline timeline;
+  timeline.slots.resize(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    timeline.slots[i] = ideal_observation(slots[i], constellation, led);
+    timeline.slots[i]->slot = static_cast<long long>(i);
+  }
+  return timeline;
+}
+
+struct Case {
+  csk::CskOrder order;
+  double phi;
+  int payload_bytes;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProtocolFuzz, CleanChannelDecodesEveryPacket) {
+  const Case c = GetParam();
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = c.order;
+  tx_config.format.illumination_ratio = c.phi;
+  tx_config.symbol_rate_hz = 2000.0;
+  tx_config.rs_n = 24;
+  tx_config.rs_k = 15;
+  const tx::Transmitter transmitter(tx_config);
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(c.payload_bytes) * 31 +
+                       static_cast<std::uint64_t>(c.order));
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(c.payload_bytes));
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+  const tx::Transmission transmission = transmitter.transmit(payload);
+
+  const csk::Constellation constellation(c.order);
+  const led::TriLed led;
+  const SlotTimeline timeline =
+      synthesize_timeline(transmission.slots, constellation, led);
+
+  ReceiverConfig rx_config;
+  rx_config.format = tx_config.format;
+  rx_config.symbol_rate_hz = tx_config.symbol_rate_hz;
+  rx_config.rs_n = tx_config.rs_n;
+  rx_config.rs_k = tx_config.rs_k;
+  Receiver receiver(rx_config);
+  const ReceiverReport report = receiver.parse(timeline);
+
+  ASSERT_EQ(report.data_packets_ok,
+            static_cast<int>(transmission.packet_messages.size()));
+  EXPECT_EQ(report.data_packets_failed, 0);
+  // Payload byte-exact, in order.
+  std::vector<std::uint8_t> expected;
+  for (const auto& message : transmission.packet_messages) {
+    expected.insert(expected.end(), message.begin(), message.end());
+  }
+  EXPECT_EQ(report.payload, expected);
+}
+
+TEST_P(ProtocolFuzz, GapBurstWithinParityStillDecodes) {
+  const Case c = GetParam();
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = c.order;
+  tx_config.format.illumination_ratio = c.phi;
+  tx_config.symbol_rate_hz = 2000.0;
+  tx_config.rs_n = 24;
+  tx_config.rs_k = 15;  // 9 parity bytes of erasure budget
+  const tx::Transmitter transmitter(tx_config);
+
+  util::Xoshiro256 rng(99 + static_cast<std::uint64_t>(c.order));
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(c.payload_bytes));
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+  const tx::Transmission transmission = transmitter.transmit(payload);
+
+  const csk::Constellation constellation(c.order);
+  const led::TriLed led;
+  SlotTimeline timeline = synthesize_timeline(transmission.slots, constellation, led);
+
+  // Erase a burst of slots mid-stream — with warmup and calibration at
+  // the front, the middle of the transmission lands inside some data
+  // packet. The burst is sized well under the parity budget, so if it
+  // hits a payload the decoder must recover it as erasures; if it hits a
+  // header, exactly that one packet may be discarded.
+  const int bits = constellation.bits();
+  const int burst_bytes = 4;  // well under 9 parity bytes
+  const int burst_slots = burst_bytes * 8 / bits;
+  const std::size_t burst_start = transmission.slots.size() / 2;
+  for (int i = 0; i < burst_slots; ++i) {
+    timeline.slots[burst_start + static_cast<std::size_t>(i)] = std::nullopt;
+  }
+
+  ReceiverConfig rx_config;
+  rx_config.format = tx_config.format;
+  rx_config.symbol_rate_hz = tx_config.symbol_rate_hz;
+  rx_config.rs_n = tx_config.rs_n;
+  rx_config.rs_k = tx_config.rs_k;
+  Receiver receiver(rx_config);
+  const ReceiverReport report = receiver.parse(timeline);
+
+  // At most one packet may be hurt by the burst, and only if it hit a
+  // header; a payload hit must be recovered by erasure decoding.
+  EXPECT_GE(report.data_packets_ok,
+            static_cast<int>(transmission.packet_messages.size()) - 1);
+  for (const PacketRecord& record : report.packets) {
+    if (record.kind == protocol::PacketKind::kData && record.ok &&
+        record.erased_slots > 0) {
+      EXPECT_GT(record.corrected_erasures, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolFuzz,
+    ::testing::Values(Case{csk::CskOrder::kCsk4, 0.8, 45},
+                      Case{csk::CskOrder::kCsk4, 0.6, 90},
+                      Case{csk::CskOrder::kCsk8, 0.8, 45},
+                      Case{csk::CskOrder::kCsk8, 1.0, 120},
+                      Case{csk::CskOrder::kCsk16, 0.8, 60},
+                      Case{csk::CskOrder::kCsk16, 0.5, 30},
+                      Case{csk::CskOrder::kCsk32, 0.8, 75},
+                      Case{csk::CskOrder::kCsk32, 0.7, 150}),
+    [](const auto& info) {
+      return "Csk" + std::to_string(static_cast<int>(info.param.order)) + "_phi" +
+             std::to_string(static_cast<int>(info.param.phi * 100)) + "_bytes" +
+             std::to_string(info.param.payload_bytes);
+    });
+
+}  // namespace
+}  // namespace colorbars::rx

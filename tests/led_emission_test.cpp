@@ -1,0 +1,133 @@
+#include "colorbars/led/emission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::led {
+namespace {
+
+TEST(EmissionTrace, EmptyTraceIsDark) {
+  const EmissionTrace trace;
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+  EXPECT_EQ(trace.sample(0.5), Vec3());
+  EXPECT_EQ(trace.average(0.0, 1.0), Vec3());
+}
+
+TEST(EmissionTrace, IgnoresNonPositiveDurations) {
+  EmissionTrace trace;
+  trace.append(0.0, {1, 1, 1});
+  trace.append(-1.0, {1, 1, 1});
+  EXPECT_EQ(trace.segment_count(), 0u);
+}
+
+TEST(EmissionTrace, SampleReturnsSegmentValue) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 0, 0});
+  trace.append(1.0, {0, 1, 0});
+  trace.append(1.0, {0, 0, 1});
+  EXPECT_EQ(trace.sample(0.5), Vec3(1, 0, 0));
+  EXPECT_EQ(trace.sample(1.5), Vec3(0, 1, 0));
+  EXPECT_EQ(trace.sample(2.5), Vec3(0, 0, 1));
+}
+
+TEST(EmissionTrace, SampleClampsToEnds) {
+  EmissionTrace trace;
+  trace.append(1.0, {0.2, 0.3, 0.4});
+  EXPECT_EQ(trace.sample(-5.0), Vec3(0.2, 0.3, 0.4));
+  EXPECT_EQ(trace.sample(5.0), Vec3(0.2, 0.3, 0.4));
+}
+
+TEST(EmissionTrace, AverageOfUniformTraceIsItsValue) {
+  EmissionTrace trace;
+  trace.append(2.0, {0.5, 0.25, 0.75});
+  const Vec3 mean = trace.average(0.3, 1.7);
+  EXPECT_NEAR(mean.x, 0.5, 1e-12);
+  EXPECT_NEAR(mean.y, 0.25, 1e-12);
+  EXPECT_NEAR(mean.z, 0.75, 1e-12);
+}
+
+TEST(EmissionTrace, AverageBlendsAcrossBoundary) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 0, 0});
+  trace.append(1.0, {0, 1, 0});
+  // Window [0.5, 1.5] covers half of each.
+  const Vec3 mean = trace.average(0.5, 1.5);
+  EXPECT_NEAR(mean.x, 0.5, 1e-12);
+  EXPECT_NEAR(mean.y, 0.5, 1e-12);
+}
+
+TEST(EmissionTrace, AverageIntegratesDarknessBeyondEnd) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  // Window [0.5, 2.5): 0.5 s of light over a 2 s window.
+  const Vec3 mean = trace.average(0.5, 2.5);
+  EXPECT_NEAR(mean.x, 0.25, 1e-12);
+}
+
+TEST(EmissionTrace, AverageBeforeStartIsDarkWeighted) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  const Vec3 mean = trace.average(-1.0, 1.0);
+  EXPECT_NEAR(mean.x, 0.5, 1e-12);
+}
+
+TEST(EmissionTrace, DegenerateWindowIsDark) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  EXPECT_EQ(trace.average(0.5, 0.5), Vec3());
+  EXPECT_EQ(trace.average(0.7, 0.3), Vec3());
+}
+
+TEST(EmissionTrace, AppendTraceConcatenates) {
+  EmissionTrace a;
+  a.append(1.0, {1, 0, 0});
+  EmissionTrace b;
+  b.append(2.0, {0, 1, 0});
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.duration(), 3.0);
+  EXPECT_EQ(a.sample(2.0), Vec3(0, 1, 0));
+}
+
+TEST(EmissionTrace, AverageMatchesBruteForceIntegration) {
+  util::Xoshiro256 rng(90);
+  EmissionTrace trace;
+  std::vector<std::pair<double, Vec3>> segments;
+  double total = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double duration = rng.uniform(0.001, 0.05);
+    const Vec3 value{rng.uniform(), rng.uniform(), rng.uniform()};
+    trace.append(duration, value);
+    segments.emplace_back(duration, value);
+    total += duration;
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const double t0 = rng.uniform(0.0, total);
+    const double t1 = t0 + rng.uniform(0.001, total - t0);
+    // Brute force: fine Riemann sum.
+    const int steps = 20000;
+    Vec3 sum;
+    for (int s = 0; s < steps; ++s) {
+      const double t = t0 + (s + 0.5) * (t1 - t0) / steps;
+      sum += trace.sample(t);
+    }
+    const Vec3 brute = sum / steps;
+    const Vec3 exact = trace.average(t0, t1);
+    EXPECT_NEAR(exact.x, brute.x, 0.02);
+    EXPECT_NEAR(exact.y, brute.y, 0.02);
+    EXPECT_NEAR(exact.z, brute.z, 0.02);
+  }
+}
+
+TEST(EmissionTrace, LongTraceLookupIsConsistent) {
+  EmissionTrace trace;
+  for (int i = 0; i < 10000; ++i) {
+    trace.append(0.001, {static_cast<double>(i % 7), 0, 0});
+  }
+  EXPECT_NEAR(trace.duration(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(trace.sample(5.0005).x, 5000 % 7);
+  EXPECT_DOUBLE_EQ(trace.sample(9.9995).x, 9999 % 7);
+}
+
+}  // namespace
+}  // namespace colorbars::led

@@ -1,0 +1,85 @@
+#include "colorbars/led/tri_led.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/color/cie.hpp"
+
+namespace colorbars::led {
+namespace {
+
+TEST(TriLed, RejectsInvalidConfig) {
+  TriLedConfig bad;
+  bad.peak_radiance = 0.0;
+  EXPECT_THROW(TriLed{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_symbol_rate_hz = -1.0;
+  EXPECT_THROW(TriLed{bad}, std::invalid_argument);
+}
+
+TEST(TriLed, SupportsRatesUpToHardwareLimit) {
+  const TriLed led;
+  EXPECT_TRUE(led.supports_rate(1000));
+  EXPECT_TRUE(led.supports_rate(4500));
+  EXPECT_FALSE(led.supports_rate(4501));
+  EXPECT_FALSE(led.supports_rate(0));
+}
+
+TEST(TriLed, OffDriveEmitsNothing) {
+  const TriLed led;
+  EXPECT_EQ(led.radiance(csk::off_drive()), Vec3());
+}
+
+TEST(TriLed, RadianceChromaticityMatchesDriveTarget) {
+  const TriLed led;
+  const auto& gamut = led.gamut();
+  for (const auto& target :
+       {gamut.red(), gamut.green(), gamut.blue(), gamut.centroid()}) {
+    const csk::LedDrive drive = csk::drive_for(gamut, target);
+    const color::xyY emitted = color::xyz_to_xyy(led.radiance(drive));
+    EXPECT_NEAR(emitted.xy.x, target.x, 1e-9);
+    EXPECT_NEAR(emitted.xy.y, target.y, 1e-9);
+  }
+}
+
+TEST(TriLed, FullyDrivenSymbolsEmitEqualPower) {
+  const TriLed led;
+  const auto& gamut = led.gamut();
+  const double white_power = led.radiance(csk::white_drive()).sum();
+  for (const auto& target : {gamut.red(), gamut.green(), gamut.blue()}) {
+    const double power = led.radiance(csk::drive_for(gamut, target)).sum();
+    EXPECT_NEAR(power, white_power, 1e-9);
+  }
+}
+
+TEST(TriLed, PeakRadianceScalesOutput) {
+  TriLedConfig config;
+  config.peak_radiance = 2.5;
+  const TriLed led(config);
+  const TriLed reference;
+  const Vec3 scaled = led.radiance(csk::white_drive());
+  const Vec3 base = reference.radiance(csk::white_drive());
+  EXPECT_NEAR(scaled.x, 2.5 * base.x, 1e-12);
+  EXPECT_NEAR(scaled.y, 2.5 * base.y, 1e-12);
+}
+
+TEST(TriLed, EmitProducesOneSegmentPerSymbol) {
+  const TriLed led;
+  const std::vector<csk::LedDrive> drives(10, csk::white_drive());
+  const EmissionTrace trace = led.emit(drives, 1000.0);
+  EXPECT_EQ(trace.segment_count(), 10u);
+  EXPECT_NEAR(trace.duration(), 0.010, 1e-12);
+}
+
+TEST(TriLed, EmitRejectsUnsupportedRate) {
+  const TriLed led;
+  const std::vector<csk::LedDrive> drives(4, csk::white_drive());
+  EXPECT_THROW((void)led.emit(drives, 9000.0), std::invalid_argument);
+}
+
+TEST(TriLed, BeagleBoneDefaultRateLimitMatchesPaper) {
+  // Paper §8: the BeagleBone platform tops out below 4500 Hz.
+  EXPECT_DOUBLE_EQ(TriLedConfig{}.max_symbol_rate_hz, 4500.0);
+}
+
+}  // namespace
+}  // namespace colorbars::led

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "colorbars/protocol/packetizer.hpp"
+
+namespace colorbars::protocol {
+namespace {
+
+class VariantsAllOrders : public ::testing::TestWithParam<csk::CskOrder> {
+ protected:
+  csk::Constellation constellation_{GetParam()};
+  Packetizer packetizer_{{GetParam(), 0.8}, constellation_};
+};
+
+TEST_P(VariantsAllOrders, ForwardCarriesAscendingIndices) {
+  const auto packet = packetizer_.build_calibration_packet();
+  const std::size_t header =
+      delimiter_sequence().size() + calibration_flag_sequence().size();
+  for (int i = 0; i < constellation_.size(); ++i) {
+    EXPECT_EQ(packet[header + static_cast<std::size_t>(i)],
+              ChannelSymbol::data(i));
+  }
+}
+
+TEST_P(VariantsAllOrders, ReversedCarriesDescendingIndices) {
+  const auto packet = packetizer_.build_reversed_calibration_packet();
+  const std::size_t header =
+      delimiter_sequence().size() + reversed_calibration_flag_sequence().size();
+  const int count = constellation_.size();
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(packet[header + static_cast<std::size_t>(i)],
+              ChannelSymbol::data(count - 1 - i));
+  }
+}
+
+TEST_P(VariantsAllOrders, RotatedStartsAtHalfAndWraps) {
+  const auto packet = packetizer_.build_rotated_calibration_packet();
+  const std::size_t header =
+      delimiter_sequence().size() + rotated_calibration_flag_sequence().size();
+  const int count = constellation_.size();
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(packet[header + static_cast<std::size_t>(i)],
+              ChannelSymbol::data((count / 2 + i) % count));
+  }
+}
+
+TEST_P(VariantsAllOrders, EachVariantCoversEveryIndexOnce) {
+  for (const auto& packet : {packetizer_.build_calibration_packet(),
+                             packetizer_.build_reversed_calibration_packet(),
+                             packetizer_.build_rotated_calibration_packet()}) {
+    std::vector<int> seen(static_cast<std::size_t>(constellation_.size()), 0);
+    for (const ChannelSymbol& symbol : packet) {
+      if (symbol.kind == SymbolKind::kData) {
+        ++seen[static_cast<std::size_t>(symbol.data_index)];
+      }
+    }
+    for (const int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, VariantsAllOrders,
+                         ::testing::Values(csk::CskOrder::kCsk4, csk::CskOrder::kCsk8,
+                                           csk::CskOrder::kCsk16, csk::CskOrder::kCsk32),
+                         [](const auto& info) {
+                           return "Csk" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(CalibrationFlags, AreStrictPrefixExtensionsOfEachOther) {
+  // The receiver's disambiguation (longest-first plus truncation guard)
+  // relies on this chain: data < forward < reversed < rotated, each a
+  // strict prefix of the next with an alternating (white, off) extension.
+  const auto& data = data_flag_sequence();
+  const auto& forward = calibration_flag_sequence();
+  const auto& reversed = reversed_calibration_flag_sequence();
+  const auto& rotated = rotated_calibration_flag_sequence();
+  ASSERT_LT(data.size(), forward.size());
+  ASSERT_LT(forward.size(), reversed.size());
+  ASSERT_LT(reversed.size(), rotated.size());
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(data[i], forward[i]);
+  for (std::size_t i = 0; i < forward.size(); ++i) EXPECT_EQ(forward[i], reversed[i]);
+  for (std::size_t i = 0; i < reversed.size(); ++i) EXPECT_EQ(reversed[i], rotated[i]);
+  // Each extension is exactly (white, off).
+  EXPECT_EQ(reversed[forward.size()].kind, SymbolKind::kWhite);
+  EXPECT_EQ(reversed[forward.size() + 1].kind, SymbolKind::kOff);
+  EXPECT_EQ(rotated[reversed.size()].kind, SymbolKind::kWhite);
+  EXPECT_EQ(rotated[reversed.size() + 1].kind, SymbolKind::kOff);
+}
+
+TEST(CalibrationFlags, AllFlagsStartAndEndWithOff) {
+  for (const auto* flag :
+       {&data_flag_sequence(), &calibration_flag_sequence(),
+        &reversed_calibration_flag_sequence(), &rotated_calibration_flag_sequence()}) {
+    EXPECT_EQ(flag->front().kind, SymbolKind::kOff);
+    EXPECT_EQ(flag->back().kind, SymbolKind::kOff);
+  }
+}
+
+}  // namespace
+}  // namespace colorbars::protocol

@@ -1,0 +1,124 @@
+#include "colorbars/protocol/illumination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace colorbars::protocol {
+namespace {
+
+TEST(IlluminationSchedule, RejectsInvalidRatios) {
+  EXPECT_THROW(IlluminationSchedule(0.0), std::invalid_argument);
+  EXPECT_THROW(IlluminationSchedule(-0.5), std::invalid_argument);
+  EXPECT_THROW(IlluminationSchedule(1.1), std::invalid_argument);
+}
+
+TEST(IlluminationSchedule, FullDataRatioHasNoWhiteSlots) {
+  const IlluminationSchedule schedule(1.0);
+  for (int slot = 0; slot < 1000; ++slot) {
+    EXPECT_FALSE(schedule.is_white_slot(slot));
+  }
+}
+
+TEST(IlluminationSchedule, WhiteFractionMatchesRatioAsymptotically) {
+  for (const double ratio : {0.5, 0.6, 0.75, 0.8, 0.9}) {
+    const IlluminationSchedule schedule(ratio);
+    int white = 0;
+    constexpr int kSlots = 100000;
+    for (int slot = 0; slot < kSlots; ++slot) {
+      white += schedule.is_white_slot(slot) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(white) / kSlots, 1.0 - ratio, 1e-3) << ratio;
+  }
+}
+
+TEST(IlluminationSchedule, WhitesAreEvenlySpread) {
+  // With phi = 0.8 a white must appear in every window of 5 slots... the
+  // Bresenham rule guarantees no window of ceil(1/(1-phi)) + 1 slots
+  // lacks a white.
+  const IlluminationSchedule schedule(0.8);
+  const int window = 6;
+  for (int start = 0; start < 2000; ++start) {
+    int whites = 0;
+    for (int i = 0; i < window; ++i) whites += schedule.is_white_slot(start + i) ? 1 : 0;
+    EXPECT_GE(whites, 1) << "no white in [" << start << ", " << start + window << ")";
+  }
+}
+
+TEST(IlluminationSchedule, DataInSlotsIsMonotonic) {
+  const IlluminationSchedule schedule(0.7);
+  int previous = 0;
+  for (int slots = 0; slots <= 500; ++slots) {
+    const int data = schedule.data_in_slots(slots);
+    EXPECT_GE(data, previous);
+    EXPECT_LE(data - previous, 1);
+    previous = data;
+  }
+}
+
+TEST(IlluminationSchedule, SlotsForDataIsExactInverse) {
+  for (const double ratio : {0.5, 2.0 / 3, 0.8, 0.95, 1.0}) {
+    const IlluminationSchedule schedule(ratio);
+    for (int data = 1; data <= 300; ++data) {
+      const int slots = schedule.slots_for_data(data);
+      EXPECT_GE(schedule.data_in_slots(slots), data);
+      EXPECT_LT(schedule.data_in_slots(slots - 1), data);
+    }
+  }
+}
+
+TEST(IlluminationSchedule, InsertThenStripRoundTrips) {
+  for (const double ratio : {0.5, 0.75, 0.8, 1.0}) {
+    const IlluminationSchedule schedule(ratio);
+    std::vector<ChannelSymbol> data;
+    for (int i = 0; i < 100; ++i) data.push_back(ChannelSymbol::data(i % 8));
+    const std::vector<ChannelSymbol> slots = schedule.insert_white(data);
+    const std::vector<ChannelSymbol> stripped = schedule.strip_white(slots);
+    EXPECT_EQ(stripped, data) << "ratio " << ratio;
+  }
+}
+
+TEST(IlluminationSchedule, InsertedSlotsMatchSlotsForData) {
+  const IlluminationSchedule schedule(0.8);
+  std::vector<ChannelSymbol> data(43, ChannelSymbol::data(1));
+  const auto slots = schedule.insert_white(data);
+  EXPECT_EQ(static_cast<int>(slots.size()), schedule.slots_for_data(43));
+}
+
+TEST(IlluminationSchedule, WhiteSlotsCarryWhiteSymbols) {
+  const IlluminationSchedule schedule(0.75);
+  std::vector<ChannelSymbol> data(60, ChannelSymbol::data(2));
+  const auto slots = schedule.insert_white(data);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (schedule.is_white_slot(static_cast<int>(i))) {
+      EXPECT_EQ(slots[i].kind, SymbolKind::kWhite);
+    } else {
+      EXPECT_EQ(slots[i].kind, SymbolKind::kData);
+    }
+  }
+}
+
+TEST(IlluminationSchedule, StripIsPositionalNotColorBased) {
+  // Even if a data symbol in a data slot happens to BE white-colored
+  // (4-CSK centroid), strip_white must keep it; and a white slot is
+  // dropped regardless of content.
+  const IlluminationSchedule schedule(0.5);  // alternate data/white
+  std::vector<ChannelSymbol> slots;
+  for (int i = 0; i < 10; ++i) {
+    slots.push_back(schedule.is_white_slot(i) ? ChannelSymbol::data(9)  // wrong content
+                                              : ChannelSymbol::data(3));
+  }
+  const auto stripped = schedule.strip_white(slots);
+  for (const auto& symbol : stripped) {
+    EXPECT_EQ(symbol.data_index, 3);
+  }
+}
+
+TEST(IlluminationSchedule, ZeroDataNeedsZeroSlots) {
+  const IlluminationSchedule schedule(0.8);
+  EXPECT_EQ(schedule.slots_for_data(0), 0);
+  EXPECT_EQ(schedule.data_in_slots(0), 0);
+}
+
+}  // namespace
+}  // namespace colorbars::protocol

@@ -1,0 +1,109 @@
+#include "colorbars/protocol/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::protocol {
+namespace {
+
+TEST(Packet, DelimiterIsOwo) {
+  const auto& delimiter = delimiter_sequence();
+  ASSERT_EQ(delimiter.size(), 3u);
+  EXPECT_EQ(delimiter[0].kind, SymbolKind::kOff);
+  EXPECT_EQ(delimiter[1].kind, SymbolKind::kWhite);
+  EXPECT_EQ(delimiter[2].kind, SymbolKind::kOff);
+}
+
+TEST(Packet, DataFlagIsOwowo) {
+  const auto& flag = data_flag_sequence();
+  ASSERT_EQ(flag.size(), 5u);
+  for (std::size_t i = 0; i < flag.size(); ++i) {
+    EXPECT_EQ(flag[i].kind, i % 2 == 0 ? SymbolKind::kOff : SymbolKind::kWhite);
+  }
+}
+
+TEST(Packet, CalibrationFlagIsOwowowo) {
+  const auto& flag = calibration_flag_sequence();
+  ASSERT_EQ(flag.size(), 7u);
+  for (std::size_t i = 0; i < flag.size(); ++i) {
+    EXPECT_EQ(flag[i].kind, i % 2 == 0 ? SymbolKind::kOff : SymbolKind::kWhite);
+  }
+}
+
+TEST(Packet, DataFlagIsPrefixOfCalibrationFlag) {
+  // The receiver disambiguates by matching the longer pattern first;
+  // this only works because of this structural property.
+  const auto& data = data_flag_sequence();
+  const auto& calibration = calibration_flag_sequence();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], calibration[i]);
+  }
+}
+
+TEST(Packet, SizeFieldSymbolCountCoversTwelveBits) {
+  EXPECT_EQ(size_field_symbols(csk::CskOrder::kCsk4), 6);   // 2 bits each
+  EXPECT_EQ(size_field_symbols(csk::CskOrder::kCsk8), 4);   // 3 bits each
+  EXPECT_EQ(size_field_symbols(csk::CskOrder::kCsk16), 3);  // paper's 3 symbols
+  EXPECT_EQ(size_field_symbols(csk::CskOrder::kCsk32), 3);
+}
+
+class SizeFieldRoundTrip : public ::testing::TestWithParam<csk::CskOrder> {};
+
+TEST_P(SizeFieldRoundTrip, EncodesAndDecodesAllValues) {
+  const csk::CskOrder order = GetParam();
+  for (int value : {0, 1, 7, 54, 133, 500, 1000, 4095}) {
+    const auto field = encode_size_field(value, order);
+    EXPECT_EQ(static_cast<int>(field.size()), size_field_symbols(order));
+    for (const auto& symbol : field) {
+      EXPECT_EQ(symbol.kind, SymbolKind::kData);
+      EXPECT_LT(symbol.data_index, csk::symbol_count(order));
+    }
+    const auto decoded = decode_size_field(field, order);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SizeFieldRoundTrip,
+                         ::testing::Values(csk::CskOrder::kCsk4, csk::CskOrder::kCsk8,
+                                           csk::CskOrder::kCsk16, csk::CskOrder::kCsk32),
+                         [](const auto& info) {
+                           return "Csk" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(SizeField, ClampsOverflowingValues) {
+  const auto field = encode_size_field(100000, csk::CskOrder::kCsk8);
+  const auto decoded = decode_size_field(field, csk::CskOrder::kCsk8);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, 4095);
+}
+
+TEST(SizeField, RejectsNonDataSymbols) {
+  auto field = encode_size_field(42, csk::CskOrder::kCsk8);
+  field[1] = ChannelSymbol::white();
+  EXPECT_FALSE(decode_size_field(field, csk::CskOrder::kCsk8).has_value());
+}
+
+TEST(SizeField, RejectsWrongLength) {
+  auto field = encode_size_field(42, csk::CskOrder::kCsk8);
+  field.pop_back();
+  EXPECT_FALSE(decode_size_field(field, csk::CskOrder::kCsk8).has_value());
+}
+
+TEST(ChannelSymbol, FactoryHelpers) {
+  EXPECT_EQ(ChannelSymbol::off().kind, SymbolKind::kOff);
+  EXPECT_EQ(ChannelSymbol::white().kind, SymbolKind::kWhite);
+  const ChannelSymbol data = ChannelSymbol::data(5);
+  EXPECT_EQ(data.kind, SymbolKind::kData);
+  EXPECT_EQ(data.data_index, 5);
+}
+
+TEST(ChannelSymbol, DriveConversion) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  EXPECT_EQ(drive_of(ChannelSymbol::off(), constellation), csk::off_drive());
+  EXPECT_EQ(drive_of(ChannelSymbol::white(), constellation), csk::white_drive());
+  const csk::LedDrive drive = drive_of(ChannelSymbol::data(0), constellation);
+  EXPECT_NEAR(drive.total(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace colorbars::protocol

@@ -1,0 +1,110 @@
+#include "colorbars/protocol/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::protocol {
+namespace {
+
+class PacketizerAllOrders : public ::testing::TestWithParam<csk::CskOrder> {
+ protected:
+  FrameFormat format_{GetParam(), 0.8};
+  csk::Constellation constellation_{GetParam()};
+  Packetizer packetizer_{format_, constellation_};
+};
+
+TEST_P(PacketizerAllOrders, DataPacketStartsWithDelimiterAndFlag) {
+  const std::vector<std::uint8_t> payload(16, 0xab);
+  const auto packet = packetizer_.build_data_packet(payload);
+  const auto& delimiter = delimiter_sequence();
+  const auto& flag = data_flag_sequence();
+  ASSERT_GE(packet.size(), delimiter.size() + flag.size());
+  for (std::size_t i = 0; i < delimiter.size(); ++i) EXPECT_EQ(packet[i], delimiter[i]);
+  for (std::size_t i = 0; i < flag.size(); ++i) {
+    EXPECT_EQ(packet[delimiter.size() + i], flag[i]);
+  }
+}
+
+TEST_P(PacketizerAllOrders, SizeFieldEncodesPayloadSymbolCount) {
+  const std::vector<std::uint8_t> payload(20, 0x5c);
+  const auto packet = packetizer_.build_data_packet(payload);
+  const std::size_t header = delimiter_sequence().size() + data_flag_sequence().size();
+  const int size_symbols = size_field_symbols(format_.order);
+  const std::vector<ChannelSymbol> field(
+      packet.begin() + static_cast<std::ptrdiff_t>(header),
+      packet.begin() + static_cast<std::ptrdiff_t>(header) + size_symbols);
+  const auto decoded = decode_size_field(field, format_.order);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, packetizer_.symbols_for_bytes(20));
+}
+
+TEST_P(PacketizerAllOrders, PayloadRoundTripsThroughPacket) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(format_.order));
+  std::vector<std::uint8_t> payload(24);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+
+  const auto packet = packetizer_.build_data_packet(payload);
+  const std::size_t header = delimiter_sequence().size() + data_flag_sequence().size() +
+                             static_cast<std::size_t>(size_field_symbols(format_.order));
+  const std::vector<ChannelSymbol> payload_slots(
+      packet.begin() + static_cast<std::ptrdiff_t>(header), packet.end());
+  const auto data_symbols = packetizer_.schedule().strip_white(payload_slots);
+
+  std::vector<int> indices;
+  for (const auto& symbol : data_symbols) {
+    ASSERT_EQ(symbol.kind, SymbolKind::kData);
+    indices.push_back(symbol.data_index);
+  }
+  const auto bytes = packetizer_.mapper().unmap_symbols(indices, payload.size());
+  EXPECT_EQ(bytes, payload);
+}
+
+TEST_P(PacketizerAllOrders, PacketSlotCountMatchesPrediction) {
+  const std::vector<std::uint8_t> payload(32, 0x11);
+  const auto packet = packetizer_.build_data_packet(payload);
+  EXPECT_EQ(static_cast<int>(packet.size()), packetizer_.data_packet_slots(32));
+}
+
+TEST_P(PacketizerAllOrders, CalibrationPacketListsAllSymbolsInOrder) {
+  const auto packet = packetizer_.build_calibration_packet();
+  const std::size_t header =
+      delimiter_sequence().size() + calibration_flag_sequence().size();
+  ASSERT_EQ(packet.size(), header + static_cast<std::size_t>(constellation_.size()));
+  for (int i = 0; i < constellation_.size(); ++i) {
+    const ChannelSymbol& symbol = packet[header + static_cast<std::size_t>(i)];
+    EXPECT_EQ(symbol.kind, SymbolKind::kData);
+    EXPECT_EQ(symbol.data_index, i);
+  }
+}
+
+TEST_P(PacketizerAllOrders, PayloadContainsNoOffSymbols) {
+  // OFF must remain exclusive to delimiters/flags or packet parsing
+  // would find false markers inside payloads.
+  const std::vector<std::uint8_t> payload(64, 0x00);  // all zeros is the risky case
+  const auto packet = packetizer_.build_data_packet(payload);
+  const std::size_t header = delimiter_sequence().size() + data_flag_sequence().size();
+  for (std::size_t i = header; i < packet.size(); ++i) {
+    EXPECT_NE(packet[i].kind, SymbolKind::kOff) << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PacketizerAllOrders,
+                         ::testing::Values(csk::CskOrder::kCsk4, csk::CskOrder::kCsk8,
+                                           csk::CskOrder::kCsk16, csk::CskOrder::kCsk32),
+                         [](const auto& info) {
+                           return "Csk" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(Packetizer, EmptyPayloadStillHasHeader) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const Packetizer packetizer({csk::CskOrder::kCsk8, 0.8}, constellation);
+  const auto packet = packetizer.build_data_packet({});
+  const std::size_t expected = delimiter_sequence().size() + data_flag_sequence().size() +
+                               static_cast<std::size_t>(size_field_symbols(
+                                   csk::CskOrder::kCsk8));
+  EXPECT_EQ(packet.size(), expected);
+}
+
+}  // namespace
+}  // namespace colorbars::protocol

@@ -1,0 +1,253 @@
+#include "colorbars/rs/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::rs {
+namespace {
+
+std::vector<std::uint8_t> random_message(util::Xoshiro256& rng, int k) {
+  std::vector<std::uint8_t> message(static_cast<std::size_t>(k));
+  for (auto& byte : message) byte = static_cast<std::uint8_t>(rng.below(256));
+  return message;
+}
+
+/// Corrupts `count` distinct random positions with random wrong values.
+std::vector<int> corrupt(util::Xoshiro256& rng, std::vector<std::uint8_t>& codeword,
+                         int count) {
+  std::set<int> positions;
+  while (static_cast<int>(positions.size()) < count) {
+    positions.insert(static_cast<int>(rng.below(codeword.size())));
+  }
+  for (const int pos : positions) {
+    std::uint8_t wrong = 0;
+    do {
+      wrong = static_cast<std::uint8_t>(rng.below(256));
+    } while (wrong == codeword[static_cast<std::size_t>(pos)]);
+    codeword[static_cast<std::size_t>(pos)] = wrong;
+  }
+  return {positions.begin(), positions.end()};
+}
+
+TEST(ReedSolomon, RejectsInvalidParameters) {
+  EXPECT_THROW(ReedSolomon(256, 100), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(10, 10), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(10, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(0, -1), std::invalid_argument);
+}
+
+TEST(ReedSolomon, EncodeIsSystematic) {
+  util::Xoshiro256 rng(70);
+  const ReedSolomon code(40, 24);
+  const auto message = random_message(rng, 24);
+  const auto codeword = code.encode(message);
+  ASSERT_EQ(codeword.size(), 40u);
+  EXPECT_TRUE(std::equal(message.begin(), message.end(), codeword.begin()));
+}
+
+TEST(ReedSolomon, EncodeRejectsWrongMessageSize) {
+  const ReedSolomon code(20, 10);
+  const std::vector<std::uint8_t> wrong(9, 0);
+  EXPECT_THROW((void)code.encode(wrong), std::invalid_argument);
+}
+
+TEST(ReedSolomon, CleanCodewordDecodesUnchanged) {
+  util::Xoshiro256 rng(71);
+  const ReedSolomon code(32, 20);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto message = random_message(rng, 20);
+    const auto result = code.decode(code.encode(message));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.message, message);
+    EXPECT_EQ(result.corrected_errors, 0);
+  }
+}
+
+TEST(ReedSolomon, DecodeRejectsWrongLength) {
+  const ReedSolomon code(20, 10);
+  const std::vector<std::uint8_t> short_word(19, 0);
+  EXPECT_EQ(code.decode(short_word).status, DecodeStatus::kMalformedInput);
+}
+
+TEST(ReedSolomon, DecodeRejectsInvalidErasurePosition) {
+  const ReedSolomon code(20, 10);
+  const std::vector<std::uint8_t> word(20, 0);
+  const std::vector<int> bad{20};
+  EXPECT_EQ(code.decode(word, bad).status, DecodeStatus::kMalformedInput);
+}
+
+class ErrorCorrection : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ErrorCorrection, CorrectsUpToHalfParityErrors) {
+  const auto [n, k] = GetParam();
+  const ReedSolomon code(n, k);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(n * 1000 + k));
+  for (int errors = 0; errors <= code.max_errors(); ++errors) {
+    const auto message = random_message(rng, k);
+    auto codeword = code.encode(message);
+    corrupt(rng, codeword, errors);
+    const auto result = code.decode(codeword);
+    ASSERT_TRUE(result.ok()) << "n=" << n << " k=" << k << " errors=" << errors;
+    EXPECT_EQ(result.message, message);
+    EXPECT_EQ(result.corrected_errors, errors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeShapes, ErrorCorrection,
+                         ::testing::Values(std::tuple{15, 7}, std::tuple{20, 10},
+                                           std::tuple{32, 16}, std::tuple{64, 48},
+                                           std::tuple{255, 223}, std::tuple{255, 127},
+                                           std::tuple{10, 2}, std::tuple{6, 1}));
+
+class ErasureCorrection : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ErasureCorrection, CorrectsUpToFullParityErasures) {
+  const auto [n, k] = GetParam();
+  const ReedSolomon code(n, k);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(n * 2000 + k));
+  for (int erasures = 0; erasures <= code.parity_count(); erasures += 2) {
+    const auto message = random_message(rng, k);
+    auto codeword = code.encode(message);
+    const auto positions = corrupt(rng, codeword, erasures);
+    const auto result = code.decode(codeword, positions);
+    ASSERT_TRUE(result.ok()) << "n=" << n << " k=" << k << " erasures=" << erasures;
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeShapes, ErasureCorrection,
+                         ::testing::Values(std::tuple{15, 7}, std::tuple{20, 10},
+                                           std::tuple{32, 16}, std::tuple{64, 32},
+                                           std::tuple{255, 191}));
+
+TEST(ReedSolomon, CorrectsMixedErrorsAndErasures) {
+  // Capability: erasures + 2*errors <= parity.
+  const ReedSolomon code(40, 24);  // parity 16
+  util::Xoshiro256 rng(72);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int erasures = static_cast<int>(rng.below(9));            // 0..8
+    const int errors = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>((16 - erasures) / 2 + 1)));      // budget
+    const auto message = random_message(rng, 24);
+    auto codeword = code.encode(message);
+    auto all = corrupt(rng, codeword, erasures + errors);
+    // Declare only the first `erasures` of them.
+    const std::vector<int> declared(all.begin(), all.begin() + erasures);
+    const auto result = code.decode(codeword, declared);
+    ASSERT_TRUE(result.ok()) << "erasures=" << erasures << " errors=" << errors;
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+TEST(ReedSolomon, ContiguousBurstErasureIsRecovered) {
+  // The ColorBars case: the inter-frame gap erases a contiguous run.
+  const ReedSolomon code(60, 40);  // parity 20
+  util::Xoshiro256 rng(73);
+  const auto message = random_message(rng, 40);
+  auto codeword = code.encode(message);
+  std::vector<int> positions;
+  for (int pos = 17; pos < 17 + 20; ++pos) {
+    codeword[static_cast<std::size_t>(pos)] = 0;
+    positions.push_back(pos);
+  }
+  const auto result = code.decode(codeword, positions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.message, message);
+  EXPECT_EQ(result.corrected_errors, 0);
+}
+
+TEST(ReedSolomon, FailsBeyondCapability) {
+  const ReedSolomon code(20, 12);  // parity 8, corrects 4 errors
+  util::Xoshiro256 rng(74);
+  int failures = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto message = random_message(rng, 12);
+    auto codeword = code.encode(message);
+    corrupt(rng, codeword, 7);
+    const auto result = code.decode(codeword);
+    // Either detected as failure, or (rarely) miscorrected to some other
+    // codeword — it must never silently return the original message.
+    if (!result.ok()) {
+      ++failures;
+    } else {
+      EXPECT_NE(result.message, message);
+    }
+  }
+  EXPECT_GT(failures, 40);  // detection dominates
+}
+
+TEST(ReedSolomon, TooManyErasuresIsRejected) {
+  const ReedSolomon code(20, 12);  // parity 8
+  util::Xoshiro256 rng(75);
+  const auto message = random_message(rng, 12);
+  auto codeword = code.encode(message);
+  std::vector<int> positions;
+  for (int pos = 0; pos < 9; ++pos) positions.push_back(pos);
+  EXPECT_EQ(code.decode(codeword, positions).status, DecodeStatus::kTooManyErrors);
+}
+
+TEST(ReedSolomon, ErasedValuesAreIgnored) {
+  // Whatever garbage sits at a declared erasure must not matter.
+  const ReedSolomon code(24, 16);
+  util::Xoshiro256 rng(76);
+  const auto message = random_message(rng, 16);
+  const auto clean = code.encode(message);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto codeword = clean;
+    const std::vector<int> positions{3, 9, 20};
+    for (const int pos : positions) {
+      codeword[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto result = code.decode(codeword, positions);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+TEST(ReedSolomon, CountsErasuresAndErrorsSeparately) {
+  const ReedSolomon code(30, 20);  // parity 10
+  util::Xoshiro256 rng(77);
+  const auto message = random_message(rng, 20);
+  auto codeword = code.encode(message);
+  // Two erasures (positions 1, 2 corrupted and declared) + one error.
+  codeword[1] ^= 0x55;
+  codeword[2] ^= 0x66;
+  codeword[15] ^= 0x77;
+  const std::vector<int> declared{1, 2};
+  const auto result = code.decode(codeword, declared);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.message, message);
+  EXPECT_EQ(result.corrected_erasures, 2);
+  EXPECT_EQ(result.corrected_errors, 1);
+}
+
+TEST(DeriveCodeParameters, MatchesPaperExample) {
+  // Paper §5 example: 150 bands per frame, 30 lost (l = 1/6), 8-CSK
+  // (C = 3), phi = 4/5 -> message size 36 bytes, n = 54 bytes.
+  // With S/F = 180 symbols per frame period and F arbitrary:
+  const CodeParameters code = derive_code_parameters(5400, 30, 1.0 / 6.0, 3, 0.8);
+  EXPECT_EQ(code.n, 54);
+  EXPECT_EQ(code.n - code.k, 18);  // 2t = 144 bits = 18 bytes
+  EXPECT_EQ(code.k, 36);
+}
+
+TEST(DeriveCodeParameters, RejectsInvalidInput) {
+  EXPECT_THROW((void)derive_code_parameters(0, 30, 0.2, 3, 0.8), std::invalid_argument);
+  EXPECT_THROW((void)derive_code_parameters(1000, 30, 1.0, 3, 0.8), std::invalid_argument);
+  EXPECT_THROW((void)derive_code_parameters(1000, 30, 0.2, 3, 0.0), std::invalid_argument);
+}
+
+TEST(DeriveCodeParameters, ClampsToValidRsRange) {
+  // Very high rate would exceed 255 bytes; must clamp.
+  const CodeParameters code = derive_code_parameters(100000, 30, 0.2, 5, 1.0);
+  EXPECT_LE(code.n, 255);
+  EXPECT_GE(code.k, 1);
+  EXPECT_LT(code.k, code.n);
+}
+
+}  // namespace
+}  // namespace colorbars::rs

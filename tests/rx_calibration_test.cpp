@@ -1,0 +1,108 @@
+#include "colorbars/rx/calibration_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::rx {
+namespace {
+
+SlotObservation observation(double a, double b, double lightness) {
+  SlotObservation obs;
+  obs.chroma = {a, b};
+  obs.lightness = lightness;
+  return obs;
+}
+
+TEST(CalibrationStore, RejectsInvalidSymbolCount) {
+  EXPECT_THROW(CalibrationStore(0), std::invalid_argument);
+}
+
+TEST(CalibrationStore, StartsUncalibrated) {
+  const CalibrationStore store(8);
+  EXPECT_FALSE(store.calibrated());
+  EXPECT_FALSE(store.reference(0).has_value());
+}
+
+TEST(CalibrationStore, AbsorbRejectsWrongColorCount) {
+  CalibrationStore store(8);
+  EXPECT_THROW(store.absorb_calibration({{1, 1}}), std::invalid_argument);
+}
+
+TEST(CalibrationStore, AbsorbMakesReferencesAvailable) {
+  CalibrationStore store(4);
+  store.absorb_calibration({{50, 0}, {-40, 30}, {0, -60}, {1, 2}});
+  EXPECT_TRUE(store.calibrated());
+  ASSERT_TRUE(store.reference(2).has_value());
+  EXPECT_DOUBLE_EQ(store.reference(2)->b, -60.0);
+  EXPECT_FALSE(store.reference(4).has_value());
+  EXPECT_FALSE(store.reference(-1).has_value());
+}
+
+TEST(CalibrationStore, OffDetectionUsesLightness) {
+  const CalibrationStore store(8);
+  EXPECT_TRUE(store.is_off(observation(0, 0, 5)));
+  EXPECT_FALSE(store.is_off(observation(0, 0, 60)));
+}
+
+TEST(CalibrationStore, DimButChromaticIsNotOff) {
+  // A deep blue band is dim but strongly chromatic: must not be OFF.
+  const CalibrationStore store(8);
+  EXPECT_FALSE(store.is_off(observation(30, -70, 12)));
+}
+
+TEST(CalibrationStore, ClassifiesOffFirst) {
+  CalibrationStore store(4);
+  store.absorb_calibration({{50, 0}, {-40, 30}, {0, -60}, {1, 2}});
+  const Classification result = store.classify(observation(0, 0, 3));
+  EXPECT_EQ(result.symbol.kind, protocol::SymbolKind::kOff);
+  EXPECT_TRUE(result.confident);
+}
+
+TEST(CalibrationStore, UncalibratedLitBandIsWhite) {
+  CalibrationStore store(8);
+  store.absorb_white({1.0, 2.0});
+  const Classification near_white = store.classify(observation(1.5, 2.2, 60));
+  EXPECT_EQ(near_white.symbol.kind, protocol::SymbolKind::kWhite);
+  EXPECT_TRUE(near_white.confident);
+  const Classification colored = store.classify(observation(60, -10, 60));
+  EXPECT_EQ(colored.symbol.kind, protocol::SymbolKind::kWhite);
+  EXPECT_FALSE(colored.confident);
+}
+
+TEST(CalibrationStore, ClassifiesNearestReference) {
+  CalibrationStore store(4);
+  store.absorb_calibration({{50, 0}, {-40, 30}, {0, -60}, {1, 2}});
+  store.absorb_white({0, 0});
+  const Classification result = store.classify(observation(45, 5, 60));
+  EXPECT_EQ(result.symbol.kind, protocol::SymbolKind::kData);
+  EXPECT_EQ(result.symbol.data_index, 0);
+  EXPECT_NEAR(result.distance, std::hypot(5.0, 5.0), 1e-9);
+}
+
+TEST(CalibrationStore, WhiteWinsWhenStrictlyCloser) {
+  CalibrationStore store(2);
+  store.absorb_calibration({{50, 0}, {-50, 0}});
+  store.absorb_white({0, 0});
+  const Classification result = store.classify(observation(2, 1, 60));
+  EXPECT_EQ(result.symbol.kind, protocol::SymbolKind::kWhite);
+}
+
+TEST(CalibrationStore, RecalibrationReplacesReferences) {
+  CalibrationStore store(2);
+  store.absorb_calibration({{50, 0}, {-50, 0}});
+  store.absorb_calibration({{10, 40}, {-10, -40}});
+  ASSERT_TRUE(store.reference(0).has_value());
+  EXPECT_DOUBLE_EQ(store.reference(0)->b, 40.0);
+}
+
+TEST(CalibrationStore, ConfidenceThresholdApplied) {
+  ClassifierConfig config;
+  config.confident_delta_e = 3.0;
+  CalibrationStore store(2, config);
+  store.absorb_calibration({{50, 0}, {-50, 0}});
+  store.absorb_white({0, 0});
+  EXPECT_TRUE(store.classify(observation(51, 1, 60)).confident);
+  EXPECT_FALSE(store.classify(observation(40, 15, 60)).confident);
+}
+
+}  // namespace
+}  // namespace colorbars::rx

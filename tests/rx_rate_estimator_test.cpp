@@ -1,0 +1,95 @@
+#include "colorbars/rx/rate_estimator.hpp"
+
+#include "colorbars/rx/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/tx/transmitter.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::rx {
+namespace {
+
+std::vector<camera::Frame> capture_at_rate(double rate_hz, std::uint64_t seed) {
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = csk::CskOrder::kCsk8;
+  tx_config.symbol_rate_hz = rate_hz;
+  const tx::Transmitter transmitter(tx_config);
+  util::Xoshiro256 rng(seed);
+  std::vector<int> symbols(static_cast<std::size_t>(rate_hz));  // 1 s of data
+  for (auto& symbol : symbols) symbol = static_cast<int>(rng.below(8));
+  const tx::Transmission transmission = transmitter.transmit_raw_symbols(symbols);
+  camera::RollingShutterCamera camera(camera::ideal_profile(), {}, seed);
+  return camera.capture_video(transmission.trace);
+}
+
+TEST(RateFitResidual, ExactMultiplesScoreZero) {
+  const std::vector<double> durations{0.001, 0.002, 0.003, 0.005};
+  EXPECT_NEAR(rate_fit_residual(durations, 1000.0), 0.0, 1e-12);
+}
+
+TEST(RateFitResidual, HalfOffsetsScoreHalf) {
+  const std::vector<double> durations{0.0015};
+  EXPECT_NEAR(rate_fit_residual(durations, 1000.0), 0.5, 1e-9);
+}
+
+TEST(RateFitResidual, EmptyInputIsWorstCase) {
+  EXPECT_DOUBLE_EQ(rate_fit_residual({}, 1000.0), 1.0);
+}
+
+class RateRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateRecovery, RecoversTrueRateWithinOnePercent) {
+  const double true_rate = GetParam();
+  const auto frames = capture_at_rate(true_rate, 1234);
+  const RateEstimate estimate = estimate_symbol_rate(frames);
+  EXPECT_TRUE(estimate.plausible())
+      << "residual " << estimate.residual << " bands " << estimate.band_count;
+  EXPECT_NEAR(estimate.symbol_rate_hz, true_rate, 0.01 * true_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateRecovery,
+                         ::testing::Values(1000.0, 1700.0, 2000.0, 3100.0),
+                         [](const auto& info) {
+                           return "Hz" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(RateEstimator, StaticSceneIsNotPlausible) {
+  // A steady white LED produces one band per frame — no rate information.
+  const led::TriLed led;
+  led::EmissionTrace trace;
+  trace.append(1.0, led.radiance(csk::white_drive()));
+  camera::RollingShutterCamera camera(camera::ideal_profile(), {}, 5);
+  const auto frames = camera.capture_video(trace);
+  const RateEstimate estimate = estimate_symbol_rate(frames);
+  EXPECT_FALSE(estimate.plausible());
+}
+
+TEST(RateEstimator, NoFramesIsNotPlausible) {
+  const RateEstimate estimate = estimate_symbol_rate({});
+  EXPECT_FALSE(estimate.plausible());
+  EXPECT_EQ(estimate.band_count, 0);
+}
+
+TEST(RateEstimator, EstimateFeedsTheReceiver) {
+  // End-to-end: estimate the rate blindly, then decode with it.
+  const double true_rate = 2400.0;
+  const auto frames = capture_at_rate(true_rate, 777);
+  const RateEstimate estimate = estimate_symbol_rate(frames);
+  ASSERT_TRUE(estimate.plausible());
+
+  ReceiverConfig config;
+  config.format.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = estimate.symbol_rate_hz;
+  config.rs_n = 16;
+  config.rs_k = 9;
+  Receiver receiver(config);
+  const ReceiverReport report = receiver.process(frames);
+  // The raw stream has calibration packets; the estimated rate must be
+  // accurate enough to parse them.
+  EXPECT_GE(report.calibration_packets, 1);
+}
+
+}  // namespace
+}  // namespace colorbars::rx

@@ -1,0 +1,177 @@
+// Failure-injection tests: the receiver must degrade gracefully — never
+// crash, never mis-credit — when fed corrupted, truncated or adversarial
+// slot timelines and frames.
+
+#include <gtest/gtest.h>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/core/link.hpp"
+#include "colorbars/rx/receiver.hpp"
+#include "colorbars/tx/transmitter.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::rx {
+namespace {
+
+ReceiverConfig small_rx_config() {
+  ReceiverConfig config;
+  config.format.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = 2000.0;
+  config.rs_n = 16;
+  config.rs_k = 9;
+  return config;
+}
+
+TEST(Robustness, RandomTimelinesNeverCrashOrYieldPackets) {
+  util::Xoshiro256 rng(31337);
+  Receiver receiver(small_rx_config());
+  for (int trial = 0; trial < 30; ++trial) {
+    SlotTimeline timeline;
+    timeline.base_slot = static_cast<long long>(rng.below(1000));
+    timeline.slots.resize(200 + rng.below(400));
+    for (auto& cell : timeline.slots) {
+      if (rng.chance(0.3)) continue;  // missing slot
+      SlotObservation observation;
+      observation.chroma = {rng.uniform(-90, 90), rng.uniform(-90, 90)};
+      observation.lightness = rng.uniform(0, 100);
+      observation.rgb = {rng.uniform(), rng.uniform(), rng.uniform()};
+      cell = observation;
+    }
+    const ReceiverReport report = receiver.parse(timeline);
+    // Whatever it finds, a decoded packet must pass RS validation — and
+    // random noise must (with overwhelming probability) never produce one.
+    EXPECT_EQ(report.data_packets_ok, 0) << "trial " << trial;
+  }
+}
+
+TEST(Robustness, AllDarkTimelineYieldsNothing) {
+  Receiver receiver(small_rx_config());
+  SlotTimeline timeline;
+  timeline.slots.resize(500);
+  for (auto& cell : timeline.slots) {
+    SlotObservation observation;
+    observation.lightness = 2.0;
+    cell = observation;
+  }
+  const ReceiverReport report = receiver.parse(timeline);
+  EXPECT_EQ(report.data_packets_ok, 0);
+  EXPECT_EQ(report.calibration_packets, 0);
+}
+
+TEST(Robustness, AllWhiteTimelineYieldsNothing) {
+  Receiver receiver(small_rx_config());
+  SlotTimeline timeline;
+  timeline.slots.resize(500);
+  for (auto& cell : timeline.slots) {
+    SlotObservation observation;
+    observation.lightness = 70.0;
+    observation.chroma = {2.0, 4.0};
+    cell = observation;
+  }
+  const ReceiverReport report = receiver.parse(timeline);
+  EXPECT_TRUE(report.packets.empty());
+}
+
+TEST(Robustness, CorruptedFramePixelsDegradeGracefully) {
+  // Flip random pixels of every frame; decode must not crash and every
+  // packet it does credit must be genuine (RS-validated).
+  const camera::SensorProfile profile = camera::ideal_profile();
+  const rs::CodeParameters code = core::derive_link_code(
+      csk::CskOrder::kCsk8, 2000.0, profile.fps, profile.inter_frame_loss_ratio, 0.8);
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = csk::CskOrder::kCsk8;
+  tx_config.symbol_rate_hz = 2000.0;
+  tx_config.rs_n = code.n;
+  tx_config.rs_k = code.k;
+  const tx::Transmitter transmitter(tx_config);
+  util::Xoshiro256 rng(606);
+  std::vector<std::uint8_t> payload(60);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+  const tx::Transmission transmission = transmitter.transmit(payload);
+
+  camera::RollingShutterCamera camera(profile, {}, 9);
+  auto frames = camera.capture_video(transmission.trace);
+  for (auto& frame : frames) {
+    for (int i = 0; i < 500; ++i) {
+      const auto index = rng.below(frame.pixels.size());
+      frame.pixels[index] = {static_cast<std::uint8_t>(rng.below(256)),
+                             static_cast<std::uint8_t>(rng.below(256)),
+                             static_cast<std::uint8_t>(rng.below(256))};
+    }
+  }
+
+  ReceiverConfig rx_config;
+  rx_config.format = tx_config.format;
+  rx_config.symbol_rate_hz = 2000.0;
+  rx_config.rs_n = code.n;
+  rx_config.rs_k = code.k;
+  Receiver receiver(rx_config);
+  const ReceiverReport report = receiver.process(frames);
+  for (const PacketRecord& record : report.packets) {
+    if (record.kind != protocol::PacketKind::kData || !record.ok) continue;
+    bool genuine = false;
+    for (const auto& truth : transmission.packet_messages) {
+      if (record.payload == truth) genuine = true;
+    }
+    EXPECT_TRUE(genuine);
+  }
+}
+
+TEST(Robustness, DroppedFramesOnlyCostTheirPackets) {
+  const camera::SensorProfile profile = camera::ideal_profile();
+  const rs::CodeParameters code = core::derive_link_code(
+      csk::CskOrder::kCsk8, 2000.0, profile.fps, profile.inter_frame_loss_ratio, 0.8);
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = csk::CskOrder::kCsk8;
+  tx_config.symbol_rate_hz = 2000.0;
+  tx_config.rs_n = code.n;
+  tx_config.rs_k = code.k;
+  const tx::Transmitter transmitter(tx_config);
+  const tx::Transmission transmission =
+      transmitter.transmit(std::vector<std::uint8_t>(180, 0x3c));
+
+  camera::RollingShutterCamera camera(profile, {}, 11);
+  const auto frames = camera.capture_video(transmission.trace);
+  // Drop every 4th frame (Android pipelines drop frames under load).
+  std::vector<camera::Frame> degraded;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i % 4 != 3) degraded.push_back(frames[i]);
+  }
+
+  ReceiverConfig rx_config;
+  rx_config.format = tx_config.format;
+  rx_config.symbol_rate_hz = 2000.0;
+  rx_config.rs_n = code.n;
+  rx_config.rs_k = code.k;
+  Receiver full_receiver(rx_config);
+  Receiver degraded_receiver(rx_config);
+  const int full = full_receiver.process(frames).data_packets_ok;
+  const int dropped = degraded_receiver.process(degraded).data_packets_ok;
+  EXPECT_GT(dropped, 0);
+  EXPECT_LE(dropped, full);
+}
+
+TEST(Robustness, MismatchedSymbolRateDecodesNothing) {
+  // Receiver configured for the wrong symbol rate must not "decode"
+  // anything (RS validation backstop).
+  const camera::SensorProfile profile = camera::ideal_profile();
+  tx::TransmitterConfig tx_config;
+  tx_config.format.order = csk::CskOrder::kCsk8;
+  tx_config.symbol_rate_hz = 2000.0;
+  tx_config.rs_n = 16;
+  tx_config.rs_k = 9;
+  const tx::Transmitter transmitter(tx_config);
+  const tx::Transmission transmission =
+      transmitter.transmit(std::vector<std::uint8_t>(45, 0x99));
+  camera::RollingShutterCamera camera(profile, {}, 13);
+  const auto frames = camera.capture_video(transmission.trace);
+
+  ReceiverConfig rx_config = small_rx_config();
+  rx_config.symbol_rate_hz = 3000.0;  // wrong
+  Receiver receiver(rx_config);
+  const ReceiverReport report = receiver.process(frames);
+  EXPECT_EQ(report.data_packets_ok, 0);
+}
+
+}  // namespace
+}  // namespace colorbars::rx

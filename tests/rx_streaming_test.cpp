@@ -1,0 +1,116 @@
+#include "colorbars/rx/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/core/link.hpp"
+#include "colorbars/tx/transmitter.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::rx {
+namespace {
+
+struct StreamFixture {
+  StreamFixture() {
+    const camera::SensorProfile profile = camera::ideal_profile();
+    const rs::CodeParameters code = core::derive_link_code(
+        csk::CskOrder::kCsk8, 2000.0, profile.fps, profile.inter_frame_loss_ratio, 0.8);
+    tx_config.format.order = csk::CskOrder::kCsk8;
+    tx_config.symbol_rate_hz = 2000.0;
+    tx_config.rs_n = code.n;
+    tx_config.rs_k = code.k;
+    rx_config.format = tx_config.format;
+    rx_config.symbol_rate_hz = 2000.0;
+    rx_config.rs_n = code.n;
+    rx_config.rs_k = code.k;
+
+    util::Xoshiro256 rng(404);
+    payload.resize(120);
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+
+    const tx::Transmitter transmitter(tx_config);
+    transmission = transmitter.transmit(payload);
+    camera::RollingShutterCamera camera(camera::ideal_profile(), {}, 777);
+    frames = camera.capture_video(transmission.trace);
+  }
+
+  tx::TransmitterConfig tx_config;
+  ReceiverConfig rx_config;
+  std::vector<std::uint8_t> payload;
+  tx::Transmission transmission;
+  std::vector<camera::Frame> frames;
+};
+
+TEST(StreamingReceiver, EmptyStreamYieldsNothing) {
+  StreamFixture fixture;
+  StreamingReceiver streaming(fixture.rx_config);
+  EXPECT_TRUE(streaming.poll().empty());
+  EXPECT_TRUE(streaming.finish().empty());
+  EXPECT_EQ(streaming.frames_ingested(), 0);
+}
+
+TEST(StreamingReceiver, MatchesBatchReceiverPacketForPacket) {
+  StreamFixture fixture;
+
+  Receiver batch(fixture.rx_config);
+  const ReceiverReport batch_report = batch.process(fixture.frames);
+
+  StreamingReceiver streaming(fixture.rx_config);
+  std::vector<PacketRecord> streamed;
+  for (const camera::Frame& frame : fixture.frames) {
+    streaming.push_frame(frame);
+    const auto fresh = streaming.poll();
+    streamed.insert(streamed.end(), fresh.begin(), fresh.end());
+  }
+  const auto tail = streaming.finish();
+  streamed.insert(streamed.end(), tail.begin(), tail.end());
+
+  ASSERT_EQ(streamed.size(), batch_report.packets.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].start_slot, batch_report.packets[i].start_slot);
+    EXPECT_EQ(streamed[i].kind, batch_report.packets[i].kind);
+    EXPECT_EQ(streamed[i].ok, batch_report.packets[i].ok);
+    EXPECT_EQ(streamed[i].payload, batch_report.packets[i].payload);
+  }
+  EXPECT_EQ(streaming.payload(), batch_report.payload);
+}
+
+TEST(StreamingReceiver, ReportsPacketsOnlyOnce) {
+  StreamFixture fixture;
+  StreamingReceiver streaming(fixture.rx_config);
+  std::vector<long long> starts;
+  for (const camera::Frame& frame : fixture.frames) {
+    streaming.push_frame(frame);
+    // Poll twice per frame — the second poll must be empty.
+    for (const auto& record : streaming.poll()) starts.push_back(record.start_slot);
+    EXPECT_TRUE(streaming.poll().empty());
+  }
+  for (const auto& record : streaming.finish()) starts.push_back(record.start_slot);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GT(starts[i], starts[i - 1]);  // strictly increasing = no dupes
+  }
+}
+
+TEST(StreamingReceiver, PacketsArriveIncrementally) {
+  // At least one packet must be reported before the final frame — the
+  // whole point of the streaming API.
+  StreamFixture fixture;
+  StreamingReceiver streaming(fixture.rx_config);
+  bool early_packet = false;
+  for (std::size_t i = 0; i + 1 < fixture.frames.size(); ++i) {
+    streaming.push_frame(fixture.frames[i]);
+    if (!streaming.poll().empty()) early_packet = true;
+  }
+  EXPECT_TRUE(early_packet);
+}
+
+TEST(StreamingReceiver, FinishIsIdempotent) {
+  StreamFixture fixture;
+  StreamingReceiver streaming(fixture.rx_config);
+  for (const camera::Frame& frame : fixture.frames) streaming.push_frame(frame);
+  (void)streaming.finish();
+  EXPECT_TRUE(streaming.finish().empty());
+}
+
+}  // namespace
+}  // namespace colorbars::rx

@@ -1,0 +1,115 @@
+#include "colorbars/util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::util {
+namespace {
+
+TEST(BitWriter, PacksMsbFirst) {
+  BitWriter writer;
+  writer.write(0b101, 3);
+  writer.write(0b11011, 5);
+  ASSERT_EQ(writer.bytes().size(), 1u);
+  EXPECT_EQ(writer.bytes()[0], 0b10111011);
+}
+
+TEST(BitWriter, PadsFinalByteWithZeros) {
+  BitWriter writer;
+  writer.write(0b11, 2);
+  EXPECT_EQ(writer.bit_count(), 2u);
+  ASSERT_EQ(writer.bytes().size(), 1u);
+  EXPECT_EQ(writer.bytes()[0], 0b11000000);
+}
+
+TEST(BitWriter, AlignToByteIsIdempotent) {
+  BitWriter writer;
+  writer.write(1, 1);
+  writer.align_to_byte();
+  EXPECT_EQ(writer.bit_count(), 8u);
+  writer.align_to_byte();
+  EXPECT_EQ(writer.bit_count(), 8u);
+}
+
+TEST(BitWriter, WriteBytesMatchesByteLoop) {
+  const std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef};
+  BitWriter writer;
+  writer.write_bytes(data);
+  EXPECT_EQ(writer.bytes(), data);
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+  BitWriter writer;
+  writer.write(0x3, 2);
+  writer.write(0x1f, 5);
+  writer.write(0xabc, 12);
+  const auto bytes = writer.bytes();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.read(2), 0x3u);
+  EXPECT_EQ(reader.read(5), 0x1fu);
+  EXPECT_EQ(reader.read(12), 0xabcu);
+  EXPECT_FALSE(reader.overrun());
+}
+
+TEST(BitReader, OverrunReadsZeroAndSetsFlag) {
+  const std::vector<std::uint8_t> bytes{0xff};
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.read(8), 0xffu);
+  EXPECT_EQ(reader.read(4), 0u);
+  EXPECT_TRUE(reader.overrun());
+}
+
+TEST(BitReader, RemainingCountsDown) {
+  const std::vector<std::uint8_t> bytes{0x00, 0x00};
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.remaining(), 16u);
+  (void)reader.read(5);
+  EXPECT_EQ(reader.remaining(), 11u);
+}
+
+class SplitJoinRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitJoinRoundTrip, RecoversOriginalBytes) {
+  const int bits = GetParam();
+  Xoshiro256 rng(100 + static_cast<std::uint64_t>(bits));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> data(1 + rng.below(64));
+    for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+    const auto chunks = split_bits(data, bits);
+    const auto restored = join_bits(chunks, bits, data.size());
+    EXPECT_EQ(restored, data) << "bits=" << bits << " size=" << data.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCskWidths, SplitJoinRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12));
+
+TEST(SplitBits, ChunkCountCoversAllBits) {
+  const std::vector<std::uint8_t> data{0xff, 0xff};  // 16 bits
+  EXPECT_EQ(split_bits(data, 3).size(), 6u);         // ceil(16/3)
+  EXPECT_EQ(split_bits(data, 4).size(), 4u);
+  EXPECT_EQ(split_bits(data, 5).size(), 4u);
+}
+
+TEST(SplitBits, FinalChunkIsZeroPadded) {
+  const std::vector<std::uint8_t> data{0xff};  // 8 bits
+  const auto chunks = split_bits(data, 5);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], 0b11111u);
+  EXPECT_EQ(chunks[1], 0b11100u);  // 3 real bits, 2 pad zeros
+}
+
+TEST(SplitBits, ValuesFitChunkWidth) {
+  Xoshiro256 rng(4242);
+  std::vector<std::uint8_t> data(128);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+  for (const int bits : {2, 3, 4, 5}) {
+    for (const auto chunk : split_bits(data, bits)) {
+      EXPECT_LT(chunk, 1u << bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace colorbars::util

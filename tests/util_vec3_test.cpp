@@ -1,0 +1,113 @@
+#include "colorbars/util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace colorbars::util {
+namespace {
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(b / 2.0, Vec3(2, 2.5, 3));
+}
+
+TEST(Vec3, DotNormAndSum) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+}
+
+TEST(Vec3, MinMaxComponents) {
+  const Vec3 a{-1, 5, 2};
+  EXPECT_DOUBLE_EQ(a.max_component(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min_component(), -1.0);
+}
+
+TEST(Vec3, HadamardAndClamp) {
+  const Vec3 a{2, -1, 0.5};
+  EXPECT_EQ(a.hadamard({1, 2, 4}), Vec3(2, -2, 2));
+  EXPECT_EQ(a.clamped(0.0, 1.0), Vec3(1, 0, 0.5));
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 a{7, 8, 9};
+  EXPECT_DOUBLE_EQ(a[0], 7);
+  EXPECT_DOUBLE_EQ(a[1], 8);
+  EXPECT_DOUBLE_EQ(a[2], 9);
+  a[1] = 42;
+  EXPECT_DOUBLE_EQ(a.y, 42);
+}
+
+TEST(Vec3, DistanceIsSymmetric) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(distance(b, a), 3.0);
+}
+
+TEST(Mat3, IdentityIsNeutral) {
+  const Mat3 identity = Mat3::identity();
+  const Vec3 v{1.5, -2.0, 3.25};
+  EXPECT_EQ(identity * v, v);
+}
+
+TEST(Mat3, MatrixVectorProduct) {
+  const Mat3 m{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Vec3 v{1, 0, -1};
+  EXPECT_EQ(m * v, Vec3(-2, -2, -2));
+}
+
+TEST(Mat3, MatrixMatrixProductMatchesManual) {
+  const Mat3 a{1, 2, 0, 0, 1, 0, 0, 0, 1};
+  const Mat3 b{1, 0, 0, 3, 1, 0, 0, 0, 1};
+  const Mat3 c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 3.0);
+}
+
+TEST(Mat3, DeterminantOfSingularIsZero) {
+  const Mat3 singular{1, 2, 3, 2, 4, 6, 0, 1, 1};
+  EXPECT_NEAR(singular.determinant(), 0.0, 1e-12);
+}
+
+TEST(Mat3, InverseTimesSelfIsIdentity) {
+  const Mat3 m{2, 1, 0, 1, 3, 1, 0, 1, 4};
+  const Mat3 product = m * m.inverse();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(product(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, FromColumnsLaysOutCorrectly) {
+  const Mat3 m = Mat3::from_columns({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2);
+  EXPECT_DOUBLE_EQ(m(0, 1), 4);
+  EXPECT_DOUBLE_EQ(m(2, 2), 9);
+}
+
+TEST(Mat3, TransposeSwapsOffDiagonal) {
+  const Mat3 m{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Mat3 t = m.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3);
+}
+
+TEST(Mat3, ScalarProductScalesAllEntries) {
+  const Mat3 m = Mat3::identity() * 3.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace colorbars::util
