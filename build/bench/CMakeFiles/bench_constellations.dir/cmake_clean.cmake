@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constellations.dir/bench_constellations.cpp.o"
+  "CMakeFiles/bench_constellations.dir/bench_constellations.cpp.o.d"
+  "bench_constellations"
+  "bench_constellations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constellations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

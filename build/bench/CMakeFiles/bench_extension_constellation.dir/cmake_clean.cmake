@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_constellation.dir/bench_extension_constellation.cpp.o"
+  "CMakeFiles/bench_extension_constellation.dir/bench_extension_constellation.cpp.o.d"
+  "bench_extension_constellation"
+  "bench_extension_constellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_constellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_colorspace.dir/bench_fig8_colorspace.cpp.o"
+  "CMakeFiles/bench_fig8_colorspace.dir/bench_fig8_colorspace.cpp.o.d"
+  "bench_fig8_colorspace"
+  "bench_fig8_colorspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_colorspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ser.dir/bench_fig9_ser.cpp.o"
+  "CMakeFiles/bench_fig9_ser.dir/bench_fig9_ser.cpp.o.d"
+  "bench_fig9_ser"
+  "bench_fig9_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

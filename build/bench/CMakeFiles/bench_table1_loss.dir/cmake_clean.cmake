@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_loss.dir/bench_table1_loss.cpp.o"
+  "CMakeFiles/bench_table1_loss.dir/bench_table1_loss.cpp.o.d"
+  "bench_table1_loss"
+  "bench_table1_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

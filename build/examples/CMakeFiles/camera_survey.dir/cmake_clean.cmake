@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_survey.dir/camera_survey.cpp.o"
+  "CMakeFiles/camera_survey.dir/camera_survey.cpp.o.d"
+  "camera_survey"
+  "camera_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colorbars_cli.dir/colorbars_cli.cpp.o"
+  "CMakeFiles/colorbars_cli.dir/colorbars_cli.cpp.o.d"
+  "colorbars_cli"
+  "colorbars_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colorbars_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

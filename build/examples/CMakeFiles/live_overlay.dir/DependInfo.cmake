@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_overlay.cpp" "examples/CMakeFiles/live_overlay.dir/live_overlay.cpp.o" "gcc" "examples/CMakeFiles/live_overlay.dir/live_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/cb_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/rx/CMakeFiles/cb_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flicker/CMakeFiles/cb_flicker.dir/DependInfo.cmake"
+  "/root/repo/build/src/camera/CMakeFiles/cb_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cb_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/led/CMakeFiles/cb_led.dir/DependInfo.cmake"
+  "/root/repo/build/src/csk/CMakeFiles/cb_csk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cb_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/cb_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

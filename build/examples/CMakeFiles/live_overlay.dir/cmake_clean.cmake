@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_overlay.dir/live_overlay.cpp.o"
+  "CMakeFiles/live_overlay.dir/live_overlay.cpp.o.d"
+  "live_overlay"
+  "live_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

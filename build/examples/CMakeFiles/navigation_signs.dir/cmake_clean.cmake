@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigation_signs.dir/navigation_signs.cpp.o"
+  "CMakeFiles/navigation_signs.dir/navigation_signs.cpp.o.d"
+  "navigation_signs"
+  "navigation_signs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigation_signs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

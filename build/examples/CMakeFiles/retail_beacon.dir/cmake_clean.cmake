@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_beacon.dir/retail_beacon.cpp.o"
+  "CMakeFiles/retail_beacon.dir/retail_beacon.cpp.o.d"
+  "retail_beacon"
+  "retail_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_bands.dir/visualize_bands.cpp.o"
+  "CMakeFiles/visualize_bands.dir/visualize_bands.cpp.o.d"
+  "visualize_bands"
+  "visualize_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

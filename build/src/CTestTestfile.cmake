@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("color")
+subdirs("gf")
+subdirs("rs")
+subdirs("csk")
+subdirs("led")
+subdirs("protocol")
+subdirs("flicker")
+subdirs("camera")
+subdirs("rx")
+subdirs("tx")
+subdirs("baseline")
+subdirs("core")

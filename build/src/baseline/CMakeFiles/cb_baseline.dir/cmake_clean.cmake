@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_baseline.dir/fsk.cpp.o"
+  "CMakeFiles/cb_baseline.dir/fsk.cpp.o.d"
+  "CMakeFiles/cb_baseline.dir/ook.cpp.o"
+  "CMakeFiles/cb_baseline.dir/ook.cpp.o.d"
+  "libcb_baseline.a"
+  "libcb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

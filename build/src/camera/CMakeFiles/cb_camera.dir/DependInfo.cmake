@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/camera/bayer.cpp" "src/camera/CMakeFiles/cb_camera.dir/bayer.cpp.o" "gcc" "src/camera/CMakeFiles/cb_camera.dir/bayer.cpp.o.d"
+  "/root/repo/src/camera/camera.cpp" "src/camera/CMakeFiles/cb_camera.dir/camera.cpp.o" "gcc" "src/camera/CMakeFiles/cb_camera.dir/camera.cpp.o.d"
+  "/root/repo/src/camera/ppm.cpp" "src/camera/CMakeFiles/cb_camera.dir/ppm.cpp.o" "gcc" "src/camera/CMakeFiles/cb_camera.dir/ppm.cpp.o.d"
+  "/root/repo/src/camera/profile.cpp" "src/camera/CMakeFiles/cb_camera.dir/profile.cpp.o" "gcc" "src/camera/CMakeFiles/cb_camera.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/led/CMakeFiles/cb_led.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/csk/CMakeFiles/cb_csk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

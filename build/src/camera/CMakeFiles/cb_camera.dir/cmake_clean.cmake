@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_camera.dir/bayer.cpp.o"
+  "CMakeFiles/cb_camera.dir/bayer.cpp.o.d"
+  "CMakeFiles/cb_camera.dir/camera.cpp.o"
+  "CMakeFiles/cb_camera.dir/camera.cpp.o.d"
+  "CMakeFiles/cb_camera.dir/ppm.cpp.o"
+  "CMakeFiles/cb_camera.dir/ppm.cpp.o.d"
+  "CMakeFiles/cb_camera.dir/profile.cpp.o"
+  "CMakeFiles/cb_camera.dir/profile.cpp.o.d"
+  "libcb_camera.a"
+  "libcb_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/color/cie.cpp" "src/color/CMakeFiles/cb_color.dir/cie.cpp.o" "gcc" "src/color/CMakeFiles/cb_color.dir/cie.cpp.o.d"
+  "/root/repo/src/color/gamut.cpp" "src/color/CMakeFiles/cb_color.dir/gamut.cpp.o" "gcc" "src/color/CMakeFiles/cb_color.dir/gamut.cpp.o.d"
+  "/root/repo/src/color/lab.cpp" "src/color/CMakeFiles/cb_color.dir/lab.cpp.o" "gcc" "src/color/CMakeFiles/cb_color.dir/lab.cpp.o.d"
+  "/root/repo/src/color/srgb.cpp" "src/color/CMakeFiles/cb_color.dir/srgb.cpp.o" "gcc" "src/color/CMakeFiles/cb_color.dir/srgb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

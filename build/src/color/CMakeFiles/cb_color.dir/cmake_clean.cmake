@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_color.dir/cie.cpp.o"
+  "CMakeFiles/cb_color.dir/cie.cpp.o.d"
+  "CMakeFiles/cb_color.dir/gamut.cpp.o"
+  "CMakeFiles/cb_color.dir/gamut.cpp.o.d"
+  "CMakeFiles/cb_color.dir/lab.cpp.o"
+  "CMakeFiles/cb_color.dir/lab.cpp.o.d"
+  "CMakeFiles/cb_color.dir/srgb.cpp.o"
+  "CMakeFiles/cb_color.dir/srgb.cpp.o.d"
+  "libcb_color.a"
+  "libcb_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_core.dir/link.cpp.o"
+  "CMakeFiles/cb_core.dir/link.cpp.o.d"
+  "libcb_core.a"
+  "libcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csk/constellation.cpp" "src/csk/CMakeFiles/cb_csk.dir/constellation.cpp.o" "gcc" "src/csk/CMakeFiles/cb_csk.dir/constellation.cpp.o.d"
+  "/root/repo/src/csk/mapper.cpp" "src/csk/CMakeFiles/cb_csk.dir/mapper.cpp.o" "gcc" "src/csk/CMakeFiles/cb_csk.dir/mapper.cpp.o.d"
+  "/root/repo/src/csk/modulation.cpp" "src/csk/CMakeFiles/cb_csk.dir/modulation.cpp.o" "gcc" "src/csk/CMakeFiles/cb_csk.dir/modulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_csk.dir/constellation.cpp.o"
+  "CMakeFiles/cb_csk.dir/constellation.cpp.o.d"
+  "CMakeFiles/cb_csk.dir/mapper.cpp.o"
+  "CMakeFiles/cb_csk.dir/mapper.cpp.o.d"
+  "CMakeFiles/cb_csk.dir/modulation.cpp.o"
+  "CMakeFiles/cb_csk.dir/modulation.cpp.o.d"
+  "libcb_csk.a"
+  "libcb_csk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_csk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

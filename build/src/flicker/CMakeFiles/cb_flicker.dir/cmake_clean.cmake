@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_flicker.dir/bloch.cpp.o"
+  "CMakeFiles/cb_flicker.dir/bloch.cpp.o.d"
+  "CMakeFiles/cb_flicker.dir/requirement.cpp.o"
+  "CMakeFiles/cb_flicker.dir/requirement.cpp.o.d"
+  "libcb_flicker.a"
+  "libcb_flicker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_flicker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

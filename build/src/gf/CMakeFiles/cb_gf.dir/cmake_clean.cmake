@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_gf.dir/gf256.cpp.o"
+  "CMakeFiles/cb_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/cb_gf.dir/poly.cpp.o"
+  "CMakeFiles/cb_gf.dir/poly.cpp.o.d"
+  "libcb_gf.a"
+  "libcb_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

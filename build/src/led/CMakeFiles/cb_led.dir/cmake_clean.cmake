@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_led.dir/emission.cpp.o"
+  "CMakeFiles/cb_led.dir/emission.cpp.o.d"
+  "CMakeFiles/cb_led.dir/tri_led.cpp.o"
+  "CMakeFiles/cb_led.dir/tri_led.cpp.o.d"
+  "libcb_led.a"
+  "libcb_led.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_led.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

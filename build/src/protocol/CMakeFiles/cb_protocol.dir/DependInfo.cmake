@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/illumination.cpp" "src/protocol/CMakeFiles/cb_protocol.dir/illumination.cpp.o" "gcc" "src/protocol/CMakeFiles/cb_protocol.dir/illumination.cpp.o.d"
+  "/root/repo/src/protocol/packet.cpp" "src/protocol/CMakeFiles/cb_protocol.dir/packet.cpp.o" "gcc" "src/protocol/CMakeFiles/cb_protocol.dir/packet.cpp.o.d"
+  "/root/repo/src/protocol/packetizer.cpp" "src/protocol/CMakeFiles/cb_protocol.dir/packetizer.cpp.o" "gcc" "src/protocol/CMakeFiles/cb_protocol.dir/packetizer.cpp.o.d"
+  "/root/repo/src/protocol/symbols.cpp" "src/protocol/CMakeFiles/cb_protocol.dir/symbols.cpp.o" "gcc" "src/protocol/CMakeFiles/cb_protocol.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csk/CMakeFiles/cb_csk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cb_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/cb_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_protocol.dir/illumination.cpp.o"
+  "CMakeFiles/cb_protocol.dir/illumination.cpp.o.d"
+  "CMakeFiles/cb_protocol.dir/packet.cpp.o"
+  "CMakeFiles/cb_protocol.dir/packet.cpp.o.d"
+  "CMakeFiles/cb_protocol.dir/packetizer.cpp.o"
+  "CMakeFiles/cb_protocol.dir/packetizer.cpp.o.d"
+  "CMakeFiles/cb_protocol.dir/symbols.cpp.o"
+  "CMakeFiles/cb_protocol.dir/symbols.cpp.o.d"
+  "libcb_protocol.a"
+  "libcb_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

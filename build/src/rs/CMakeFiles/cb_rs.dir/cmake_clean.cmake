@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_rs.dir/reed_solomon.cpp.o"
+  "CMakeFiles/cb_rs.dir/reed_solomon.cpp.o.d"
+  "libcb_rs.a"
+  "libcb_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

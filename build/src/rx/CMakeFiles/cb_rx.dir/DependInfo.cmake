@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rx/band_extractor.cpp" "src/rx/CMakeFiles/cb_rx.dir/band_extractor.cpp.o" "gcc" "src/rx/CMakeFiles/cb_rx.dir/band_extractor.cpp.o.d"
+  "/root/repo/src/rx/calibration_store.cpp" "src/rx/CMakeFiles/cb_rx.dir/calibration_store.cpp.o" "gcc" "src/rx/CMakeFiles/cb_rx.dir/calibration_store.cpp.o.d"
+  "/root/repo/src/rx/rate_estimator.cpp" "src/rx/CMakeFiles/cb_rx.dir/rate_estimator.cpp.o" "gcc" "src/rx/CMakeFiles/cb_rx.dir/rate_estimator.cpp.o.d"
+  "/root/repo/src/rx/receiver.cpp" "src/rx/CMakeFiles/cb_rx.dir/receiver.cpp.o" "gcc" "src/rx/CMakeFiles/cb_rx.dir/receiver.cpp.o.d"
+  "/root/repo/src/rx/streaming.cpp" "src/rx/CMakeFiles/cb_rx.dir/streaming.cpp.o" "gcc" "src/rx/CMakeFiles/cb_rx.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/camera/CMakeFiles/cb_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cb_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cb_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/led/CMakeFiles/cb_led.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/cb_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/csk/CMakeFiles/cb_csk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

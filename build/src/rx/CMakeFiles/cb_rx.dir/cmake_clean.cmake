@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_rx.dir/band_extractor.cpp.o"
+  "CMakeFiles/cb_rx.dir/band_extractor.cpp.o.d"
+  "CMakeFiles/cb_rx.dir/calibration_store.cpp.o"
+  "CMakeFiles/cb_rx.dir/calibration_store.cpp.o.d"
+  "CMakeFiles/cb_rx.dir/rate_estimator.cpp.o"
+  "CMakeFiles/cb_rx.dir/rate_estimator.cpp.o.d"
+  "CMakeFiles/cb_rx.dir/receiver.cpp.o"
+  "CMakeFiles/cb_rx.dir/receiver.cpp.o.d"
+  "CMakeFiles/cb_rx.dir/streaming.cpp.o"
+  "CMakeFiles/cb_rx.dir/streaming.cpp.o.d"
+  "libcb_rx.a"
+  "libcb_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_tx.dir/transmitter.cpp.o"
+  "CMakeFiles/cb_tx.dir/transmitter.cpp.o.d"
+  "libcb_tx.a"
+  "libcb_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_util.dir/bitio.cpp.o"
+  "CMakeFiles/cb_util.dir/bitio.cpp.o.d"
+  "CMakeFiles/cb_util.dir/rng.cpp.o"
+  "CMakeFiles/cb_util.dir/rng.cpp.o.d"
+  "libcb_util.a"
+  "libcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/camera_bayer_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/camera_bayer_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/camera_bayer_test.cpp.o.d"
+  "/root/repo/tests/camera_camera_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/camera_camera_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/camera_camera_test.cpp.o.d"
+  "/root/repo/tests/camera_invariants_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/camera_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/camera_invariants_test.cpp.o.d"
+  "/root/repo/tests/camera_ppm_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/camera_ppm_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/camera_ppm_test.cpp.o.d"
+  "/root/repo/tests/camera_profile_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/camera_profile_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/camera_profile_test.cpp.o.d"
+  "/root/repo/tests/color_cie_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/color_cie_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/color_cie_test.cpp.o.d"
+  "/root/repo/tests/color_delta_e94_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/color_delta_e94_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/color_delta_e94_test.cpp.o.d"
+  "/root/repo/tests/color_gamut_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/color_gamut_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/color_gamut_test.cpp.o.d"
+  "/root/repo/tests/color_lab_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/color_lab_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/color_lab_test.cpp.o.d"
+  "/root/repo/tests/color_srgb_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/color_srgb_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/color_srgb_test.cpp.o.d"
+  "/root/repo/tests/core_config_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/core_config_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/core_config_test.cpp.o.d"
+  "/root/repo/tests/core_link_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/core_link_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/core_link_test.cpp.o.d"
+  "/root/repo/tests/csk_constellation_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/csk_constellation_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/csk_constellation_test.cpp.o.d"
+  "/root/repo/tests/csk_mapper_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/csk_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/csk_mapper_test.cpp.o.d"
+  "/root/repo/tests/csk_modulation_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/csk_modulation_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/csk_modulation_test.cpp.o.d"
+  "/root/repo/tests/csk_optimize_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/csk_optimize_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/csk_optimize_test.cpp.o.d"
+  "/root/repo/tests/flicker_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/flicker_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/flicker_test.cpp.o.d"
+  "/root/repo/tests/gf256_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/gf256_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/gf256_test.cpp.o.d"
+  "/root/repo/tests/gf_poly_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/gf_poly_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/gf_poly_test.cpp.o.d"
+  "/root/repo/tests/integration_end_to_end_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/integration_end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/integration_end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration_protocol_fuzz_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/integration_protocol_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/integration_protocol_fuzz_test.cpp.o.d"
+  "/root/repo/tests/led_emission_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/led_emission_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/led_emission_test.cpp.o.d"
+  "/root/repo/tests/led_tri_led_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/led_tri_led_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/led_tri_led_test.cpp.o.d"
+  "/root/repo/tests/protocol_calibration_variants_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/protocol_calibration_variants_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/protocol_calibration_variants_test.cpp.o.d"
+  "/root/repo/tests/protocol_illumination_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/protocol_illumination_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/protocol_illumination_test.cpp.o.d"
+  "/root/repo/tests/protocol_packet_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/protocol_packet_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/protocol_packet_test.cpp.o.d"
+  "/root/repo/tests/protocol_packetizer_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/protocol_packetizer_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/protocol_packetizer_test.cpp.o.d"
+  "/root/repo/tests/rs_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rs_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rs_test.cpp.o.d"
+  "/root/repo/tests/rx_band_extractor_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_band_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_band_extractor_test.cpp.o.d"
+  "/root/repo/tests/rx_calibration_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_calibration_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_calibration_test.cpp.o.d"
+  "/root/repo/tests/rx_matching_space_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_matching_space_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_matching_space_test.cpp.o.d"
+  "/root/repo/tests/rx_rate_estimator_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_rate_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_rate_estimator_test.cpp.o.d"
+  "/root/repo/tests/rx_receiver_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_receiver_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_receiver_test.cpp.o.d"
+  "/root/repo/tests/rx_robustness_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_robustness_test.cpp.o.d"
+  "/root/repo/tests/rx_streaming_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/rx_streaming_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/rx_streaming_test.cpp.o.d"
+  "/root/repo/tests/tx_transmitter_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/tx_transmitter_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/tx_transmitter_test.cpp.o.d"
+  "/root/repo/tests/umbrella_header_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/umbrella_header_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/umbrella_header_test.cpp.o.d"
+  "/root/repo/tests/util_bitio_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/util_bitio_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/util_bitio_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_vec3_test.cpp" "tests/CMakeFiles/colorbars_tests.dir/util_vec3_test.cpp.o" "gcc" "tests/CMakeFiles/colorbars_tests.dir/util_vec3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tx/CMakeFiles/cb_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/rx/CMakeFiles/cb_rx.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flicker/CMakeFiles/cb_flicker.dir/DependInfo.cmake"
+  "/root/repo/build/src/camera/CMakeFiles/cb_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cb_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/led/CMakeFiles/cb_led.dir/DependInfo.cmake"
+  "/root/repo/build/src/csk/CMakeFiles/cb_csk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/cb_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/cb_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/color/CMakeFiles/cb_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
