@@ -26,6 +26,10 @@ namespace colorbars::rx {
 struct ReceiverConfig {
   protocol::FrameFormat format{};
   double symbol_rate_hz = 2000.0;
+  /// Video frame rate of the receiving camera. Streaming consumers use
+  /// it to convert one frame period into symbol slots (head holdback,
+  /// eviction tail); it does not affect offline parsing.
+  double frame_rate_hz = 30.0;
   /// RS code dimensions the transmitter uses for data packets.
   int rs_n = 64;
   int rs_k = 32;
@@ -77,6 +81,7 @@ struct ReceiverReport {
   std::vector<std::uint8_t> payload;  ///< concatenated payloads of good packets
   long long slots_observed = 0;
   long long slot_span = 0;            ///< first-to-last observed slot distance
+  long long slots_scanned = 0;        ///< scan-loop positions examined
   int calibration_packets = 0;
   int data_packets_ok = 0;
   int data_packets_failed = 0;
@@ -99,6 +104,28 @@ class Receiver {
   /// Parses an already-collected timeline (exposed for tests and for
   /// experiments that inspect the timeline).
   [[nodiscard]] ReceiverReport parse(const SlotTimeline& timeline);
+
+  /// Resumable incremental parse (the streaming path). Scans
+  /// `timeline.slots` from `start_position`, appending packet records
+  /// and counters to `report`, and returns the position a later call
+  /// must resume from so no position is ever scanned twice.
+  ///
+  /// With `final_flush` false the scan assumes slots past the timeline
+  /// head may still arrive: it stops before `limit_position` (callers
+  /// must keep `limit_position` at least scan_lookahead_slots() behind
+  /// the head so every "no packet starts here" conclusion is final), and
+  /// defers any matched packet whose body extends past the head instead
+  /// of reporting it truncated. With `final_flush` true it runs to the
+  /// end with offline semantics (truncated packets are reported) and
+  /// returns `timeline.slots.size()`.
+  std::size_t parse_from(const SlotTimeline& timeline, std::size_t start_position,
+                         std::size_t limit_position, ReceiverReport& report,
+                         bool final_flush = false);
+
+  /// Slots a scan decision at one position may probe beyond it (the
+  /// longest start-of-packet prefix plus the extension guard). The
+  /// incremental-parse limit must stay this far behind the stream head.
+  [[nodiscard]] std::size_t scan_lookahead_slots() const noexcept;
 
   /// Classifies a single observation against the current calibration,
   /// restricted to data symbols (used for size fields and payload slots,
@@ -142,6 +169,11 @@ class Receiver {
   protocol::Packetizer packetizer_;
   rs::ReedSolomon code_;
   CalibrationStore store_;
+  /// Start-of-packet sequences (delimiter + flag), built once.
+  std::vector<protocol::ChannelSymbol> data_prefix_;
+  std::vector<protocol::ChannelSymbol> calibration_prefix_;
+  std::vector<protocol::ChannelSymbol> reversed_calibration_prefix_;
+  std::vector<protocol::ChannelSymbol> rotated_calibration_prefix_;
 };
 
 }  // namespace colorbars::rx

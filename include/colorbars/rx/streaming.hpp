@@ -7,20 +7,51 @@
 // consumption model on top of the batch Receiver: push frames as the
 // camera delivers them, poll for packets that have become decodable.
 //
+// The decode path is incremental and bounded: observations live in a
+// sliding SlotTimeline window, each poll() resumes the parse where the
+// previous one stopped (Receiver::parse_from), and slots behind the
+// resume point are evicted once a configurable tail no longer needs
+// them. Work per poll() and retained memory are therefore proportional
+// to the window, not to the capture length.
+//
 // Packets are reported exactly once, in slot order. Because a packet can
 // span the inter-frame gap into the *next* frame, a packet is only
 // finalized once the timeline extends at least one whole frame period
 // beyond it; call finish() at end of capture to flush the tail.
 
-#include <deque>
-
 #include "colorbars/rx/receiver.hpp"
 
 namespace colorbars::rx {
 
+/// Sliding-window tuning for StreamingReceiver. Negative values derive
+/// the slot counts from the configured symbol and frame rates.
+struct StreamingConfig {
+  /// Slots held back from the stream head before a packet may be
+  /// finalized. Default: one camera frame period plus a small guard, so
+  /// a packet straddling the inter-frame gap has had its tail arrive.
+  long long holdback_slots = -1;
+  /// Already-parsed slots retained behind the resume point (debugging
+  /// headroom for gap-straddling packets). Default: one frame period.
+  long long tail_keep_slots = -1;
+};
+
+/// Per-stream decode-side counters (reset never; cumulative unless
+/// prefixed last_).
+struct StreamingStats {
+  long long drains = 0;              ///< poll()/finish() calls that parsed
+  long long slots_ingested = 0;      ///< observations accepted from frames
+  long long slots_scanned = 0;       ///< cumulative parse-loop positions
+  long long slots_evicted = 0;       ///< slots dropped from the window
+  long long window_slots = 0;        ///< current retained window length
+  long long peak_window_slots = 0;   ///< max window length ever retained
+  double parse_time_s = 0.0;         ///< cumulative wall time inside drains
+  long long last_drain_slots_scanned = 0;
+  double last_drain_time_s = 0.0;
+};
+
 class StreamingReceiver {
  public:
-  explicit StreamingReceiver(ReceiverConfig config);
+  explicit StreamingReceiver(ReceiverConfig config, StreamingConfig stream = {});
 
   [[nodiscard]] const CalibrationStore& store() const noexcept {
     return receiver_.store();
@@ -45,17 +76,37 @@ class StreamingReceiver {
   /// Total frames ingested.
   [[nodiscard]] int frames_ingested() const noexcept { return frames_ingested_; }
 
+  /// Decode-side counters (window size, eviction, per-drain cost).
+  [[nodiscard]] const StreamingStats& stats() const noexcept { return stats_; }
+
+  /// Effective head holdback in slots (configured, or one frame period
+  /// derived from symbol_rate_hz / frame_rate_hz plus a guard).
+  [[nodiscard]] long long holdback_slots() const noexcept;
+
+  /// Effective eviction tail in slots.
+  [[nodiscard]] long long tail_keep_slots() const noexcept;
+
  private:
-  /// Parses the accumulated timeline and returns records not yet
-  /// reported, up to `horizon_slot` (inclusive start).
-  [[nodiscard]] std::vector<PacketRecord> drain(long long horizon_slot);
+  /// Parses the retained window from the resume point and evicts slots
+  /// the parse can never revisit. `final_flush` applies end-of-stream
+  /// semantics (truncated tails reported, no head holdback).
+  [[nodiscard]] std::vector<PacketRecord> drain(bool final_flush);
+
+  /// One frame period expressed in symbol slots.
+  [[nodiscard]] long long frame_period_slots() const noexcept;
 
   Receiver receiver_;
-  std::vector<SlotObservation> observations_;
-  long long last_reported_start_ = -1;
+  StreamingConfig stream_config_;
+  /// Sliding window of observations. base_slot tracks eviction; valid
+  /// once the first observation arrives.
+  SlotTimeline window_;
+  bool window_valid_ = false;
+  /// Index into window_.slots the next parse resumes from.
+  std::size_t resume_position_ = 0;
   long long latest_slot_ = -1;
   int frames_ingested_ = 0;
   std::vector<std::uint8_t> payload_;
+  StreamingStats stats_;
 };
 
 }  // namespace colorbars::rx

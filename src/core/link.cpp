@@ -59,6 +59,7 @@ rx::ReceiverConfig LinkConfig::receiver_config() const {
   config.format.order = order;
   config.format.illumination_ratio = illumination_ratio;
   config.symbol_rate_hz = symbol_rate_hz;
+  config.frame_rate_hz = profile.fps;
   config.classifier = classifier;
   config.use_erasure_decoding = use_erasure_decoding;
   const rs::CodeParameters code =
@@ -142,9 +143,13 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
       // Pseudorandom pads: a fixed pad cycle can phase-lock one variant's
       // prefix with the inter-frame gap across every repetition.
       std::uint64_t state = static_cast<std::uint64_t>(repeat) + 0xca1;
+      // Pad up to half a frame period, derived from the actual camera
+      // frame rate (a hardcoded 30 fps mis-sizes the sweep range for
+      // 24/60 fps devices).
       const int pad = static_cast<int>(util::splitmix64_next(state) %
                                        (static_cast<std::uint64_t>(
-                                            config_.symbol_rate_hz / 30.0 / 2) + 1));
+                                            config_.symbol_rate_hz /
+                                            config_.profile.fps / 2) + 1));
       calibration_slots.insert(calibration_slots.end(), static_cast<std::size_t>(pad),
                                protocol::ChannelSymbol::white());
     }
@@ -175,9 +180,13 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
     const int detected = receiver.classify_data(*cell);
     if (detected != symbols[i]) ++result.symbol_errors;
   }
+  // Guard the empty measurement: 0/0 would make the ratio NaN (and a
+  // stale negative with symbols_observed > 0 impossible anyway).
   result.inter_frame_loss_ratio =
-      1.0 - static_cast<double>(result.symbols_observed) /
-                static_cast<double>(result.symbols_sent);
+      result.symbols_sent > 0
+          ? 1.0 - static_cast<double>(result.symbols_observed) /
+                      static_cast<double>(result.symbols_sent)
+          : 0.0;
   return result;
 }
 

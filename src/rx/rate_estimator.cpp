@@ -42,6 +42,10 @@ RateEstimate estimate_symbol_rate(std::span<const camera::Frame> frames,
   RateEstimate estimate;
   estimate.band_count = static_cast<int>(durations.size());
   if (durations.empty()) return estimate;
+  // Degenerate scan ranges: a non-positive (or NaN) minimum would make
+  // the multiplicative coarse scan below loop forever (rate *= 1.01
+  // never leaves zero), and an inverted range has no candidates.
+  if (!(min_rate_hz > 0.0) || !(max_rate_hz >= min_rate_hz)) return estimate;
 
   // Coarse scan, then refine around the winner. Harmonics of the true
   // rate also fit (every duration is a multiple of T/2 too), so among

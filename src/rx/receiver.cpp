@@ -13,7 +13,25 @@ Receiver::Receiver(ReceiverConfig config)
       constellation_(config.format.order),
       packetizer_(config.format, constellation_),
       code_(config.rs_n, config.rs_k),
-      store_(constellation_.size(), config.classifier) {}
+      store_(constellation_.size(), config.classifier) {
+  // The combined start-of-packet sequences: delimiter followed by flag.
+  const auto with_flag = [](const std::vector<ChannelSymbol>& flag) {
+    std::vector<ChannelSymbol> prefix = protocol::delimiter_sequence();
+    prefix.insert(prefix.end(), flag.begin(), flag.end());
+    return prefix;
+  };
+  data_prefix_ = with_flag(protocol::data_flag_sequence());
+  calibration_prefix_ = with_flag(protocol::calibration_flag_sequence());
+  reversed_calibration_prefix_ = with_flag(protocol::reversed_calibration_flag_sequence());
+  rotated_calibration_prefix_ = with_flag(protocol::rotated_calibration_flag_sequence());
+}
+
+std::size_t Receiver::scan_lookahead_slots() const noexcept {
+  const std::size_t longest =
+      std::max({data_prefix_.size(), calibration_prefix_.size(),
+                reversed_calibration_prefix_.size(), rotated_calibration_prefix_.size()});
+  return longest + 2;  // extension guard probes two slots past the prefix
+}
 
 SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
   std::vector<SlotObservation> observations;
@@ -149,30 +167,23 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
   ReceiverReport report;
   report.slots_observed = static_cast<long long>(timeline.observed_count());
   report.slot_span = static_cast<long long>(timeline.slots.size());
+  (void)parse_from(timeline, 0, timeline.slots.size(), report, /*final_flush=*/true);
+  return report;
+}
 
-  // The combined start-of-packet sequences: delimiter followed by flag.
-  std::vector<ChannelSymbol> data_prefix = protocol::delimiter_sequence();
-  {
-    const auto& flag = protocol::data_flag_sequence();
-    data_prefix.insert(data_prefix.end(), flag.begin(), flag.end());
-  }
-  std::vector<ChannelSymbol> calibration_prefix = protocol::delimiter_sequence();
-  {
-    const auto& flag = protocol::calibration_flag_sequence();
-    calibration_prefix.insert(calibration_prefix.end(), flag.begin(), flag.end());
-  }
-  std::vector<ChannelSymbol> reversed_calibration_prefix = protocol::delimiter_sequence();
-  {
-    const auto& flag = protocol::reversed_calibration_flag_sequence();
-    reversed_calibration_prefix.insert(reversed_calibration_prefix.end(), flag.begin(),
-                                       flag.end());
-  }
-  std::vector<ChannelSymbol> rotated_calibration_prefix = protocol::delimiter_sequence();
-  {
-    const auto& flag = protocol::rotated_calibration_flag_sequence();
-    rotated_calibration_prefix.insert(rotated_calibration_prefix.end(), flag.begin(),
-                                      flag.end());
-  }
+std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start_position,
+                                 std::size_t limit_position, ReceiverReport& report,
+                                 bool final_flush) {
+  const std::size_t end = timeline.slots.size();
+  limit_position = std::min(limit_position, end);
+  if (start_position >= end) return final_flush ? end : start_position;
+
+  const std::vector<ChannelSymbol>& data_prefix = data_prefix_;
+  const std::vector<ChannelSymbol>& calibration_prefix = calibration_prefix_;
+  const std::vector<ChannelSymbol>& reversed_calibration_prefix =
+      reversed_calibration_prefix_;
+  const std::vector<ChannelSymbol>& rotated_calibration_prefix =
+      rotated_calibration_prefix_;
 
   // Calibration variants, longest prefix first. Color slot j of a packet
   // carries constellation index permute(j).
@@ -225,9 +236,11 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
   // first *intact* calibration packet can still be demodulated against
   // it. Find and absorb the earliest complete calibration packet before
   // the sequential parse; later calibration packets refresh the store as
-  // they are reached.
+  // they are reached. Incremental callers repeat this over the retained
+  // window each drain until calibrated; re-absorbing the same packet
+  // blends identical colors, so the references stay stable.
   if (!store_.calibrated()) {
-    for (std::size_t position = 0; position < timeline.slots.size(); ++position) {
+    for (std::size_t position = start_position; position < end; ++position) {
       const VariantEntry* entry = match_calibration(timeline, position);
       if (entry == nullptr) continue;
       auto colors = read_calibration_colors(timeline, position + entry->prefix->size());
@@ -240,8 +253,12 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
     }
   }
 
-  std::size_t position = 0;
-  while (position < timeline.slots.size()) {
+  std::size_t position = start_position;
+  while (position < end) {
+    // In incremental mode, stop before the head region: conclusions
+    // there could be invalidated by slots that arrive with later frames.
+    if (!final_flush && position >= limit_position) break;
+    ++report.slots_scanned;
     // Longest pattern first: each shorter prefix is a strict prefix of
     // the longer ones, so testing in descending length (plus the
     // extension guard against gap truncation) disambiguates.
@@ -256,10 +273,17 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
     }
 
     if (calibration_entry != nullptr) {
+      const std::size_t colors_at = position + calibration_entry->prefix->size();
+      // Defer a packet whose color block extends past the head: the
+      // missing colors may still arrive with the next frame. Deferral
+      // precedes any absorption so the packet is absorbed exactly once.
+      if (!final_flush &&
+          colors_at + static_cast<std::size_t>(constellation_.size()) > end) {
+        break;
+      }
       PacketRecord record;
       record.kind = protocol::PacketKind::kCalibration;
       record.start_slot = timeline.base_slot + static_cast<long long>(position);
-      const std::size_t colors_at = position + calibration_entry->prefix->size();
       auto colors = read_calibration_colors(timeline, colors_at);
       permute_colors(colors, calibration_entry->variant);
       const int observed = observed_color_count(colors);
@@ -278,7 +302,11 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
       continue;
     }
 
-    // Data packet.
+    // Data packet. Defer before any absorption when the header could
+    // still be completed by slots past the current head.
+    const std::size_t header_end = position + data_prefix.size() +
+                                   static_cast<std::size_t>(size_symbols);
+    if (!final_flush && header_end > end) break;
     PacketRecord record;
     record.kind = protocol::PacketKind::kData;
     record.start_slot = timeline.base_slot + static_cast<long long>(position);
@@ -294,7 +322,7 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
 
     // Size field: every slot must be an observed, lit band.
     const std::size_t size_at = position + data_prefix.size();
-    if (size_at + static_cast<std::size_t>(size_symbols) > timeline.slots.size()) {
+    if (size_at + static_cast<std::size_t>(size_symbols) > end) {
       record.failure = PacketFailure::kTruncated;
       ++report.data_packets_failed;
       report.packets.push_back(std::move(record));
@@ -322,7 +350,11 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
       record.failure = PacketFailure::kHeaderLost;
       ++report.data_packets_failed;
       report.packets.push_back(std::move(record));
-      position = size_at + static_cast<std::size_t>(size_symbols);
+      // Resync by rescanning from the next slot: a real delimiter can
+      // begin *inside* the misread header region (the "delimiter" here
+      // may have been noise), and jumping past the size field would
+      // silently skip the packet it starts.
+      ++position;
       continue;
     }
 
@@ -330,7 +362,12 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
     // (the white-insertion schedule is deterministic on both sides).
     const int payload_slots = schedule.slots_for_data(*payload_symbols);
     const std::size_t payload_at = size_at + static_cast<std::size_t>(size_symbols);
-    if (payload_at + static_cast<std::size_t>(payload_slots) > timeline.slots.size()) {
+    // Defer a body that runs past the head: its tail can arrive with the
+    // next frame. The white absorbed above re-absorbs to the identical
+    // mean on the retry (the prefix slots are already final), so
+    // deferral keeps the store byte-identical to the offline pass.
+    if (!final_flush && payload_at + static_cast<std::size_t>(payload_slots) > end) break;
+    if (payload_at + static_cast<std::size_t>(payload_slots) > end) {
       record.failure = PacketFailure::kTruncated;
       ++report.data_packets_failed;
       report.packets.push_back(std::move(record));
@@ -404,7 +441,9 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
     position = payload_at + static_cast<std::size_t>(payload_slots);
   }
 
-  return report;
+  // A final flush consumes the timeline outright (truncated tails were
+  // reported); an incremental pass resumes exactly where it stopped.
+  return final_flush ? end : position;
 }
 
 }  // namespace colorbars::rx

@@ -1,70 +1,107 @@
 #include "colorbars/rx/streaming.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 namespace colorbars::rx {
 
-StreamingReceiver::StreamingReceiver(ReceiverConfig config)
-    : receiver_(std::move(config)) {}
+StreamingReceiver::StreamingReceiver(ReceiverConfig config, StreamingConfig stream)
+    : receiver_(std::move(config)), stream_config_(stream) {}
+
+long long StreamingReceiver::frame_period_slots() const noexcept {
+  const ReceiverConfig& config = receiver_.config();
+  const double fps = config.frame_rate_hz > 0.0 ? config.frame_rate_hz : 30.0;
+  return std::llround(config.symbol_rate_hz / fps);
+}
+
+long long StreamingReceiver::holdback_slots() const noexcept {
+  if (stream_config_.holdback_slots >= 0) return stream_config_.holdback_slots;
+  return frame_period_slots() + 4;
+}
+
+long long StreamingReceiver::tail_keep_slots() const noexcept {
+  if (stream_config_.tail_keep_slots >= 0) return stream_config_.tail_keep_slots;
+  return frame_period_slots();
+}
 
 void StreamingReceiver::push_frame(const camera::Frame& frame) {
   const std::vector<SlotObservation> slots = extract_slots(
       frame, receiver_.config().symbol_rate_hz, receiver_.config().extractor);
   for (const SlotObservation& slot : slots) {
+    if (!window_valid_) {
+      window_.base_slot = slot.slot;
+      window_valid_ = true;
+    }
+    // Behind the eviction boundary (or behind the first frame's earliest
+    // band): already parsed, drop. Happens only at frame-boundary
+    // overlap, where the earlier frame saw the fuller band anyway.
+    if (slot.slot < window_.base_slot) continue;
+    const auto index = static_cast<std::size_t>(slot.slot - window_.base_slot);
+    if (index >= window_.slots.size()) window_.slots.resize(index + 1);
+    auto& cell = window_.slots[index];
+    // First writer wins, matching the offline Receiver::collect.
+    if (!cell.has_value()) cell = slot;
     latest_slot_ = std::max(latest_slot_, slot.slot);
+    ++stats_.slots_ingested;
   }
-  observations_.insert(observations_.end(), slots.begin(), slots.end());
   ++frames_ingested_;
+  stats_.window_slots = static_cast<long long>(window_.slots.size());
+  stats_.peak_window_slots = std::max(stats_.peak_window_slots, stats_.window_slots);
 }
 
-std::vector<PacketRecord> StreamingReceiver::drain(long long horizon_slot) {
-  if (observations_.empty()) return {};
+std::vector<PacketRecord> StreamingReceiver::drain(bool final_flush) {
+  if (!window_valid_ || window_.slots.empty()) return {};
+  const auto started = std::chrono::steady_clock::now();
 
-  // Rebuild the dense timeline over everything seen so far. Packet
-  // records are deduplicated by start slot, so re-parsing already
-  // reported regions is idempotent for the caller; calibration
-  // re-absorption only re-blends the same references.
-  SlotTimeline timeline;
-  auto [min_it, max_it] = std::minmax_element(
-      observations_.begin(), observations_.end(),
-      [](const SlotObservation& a, const SlotObservation& b) { return a.slot < b.slot; });
-  timeline.base_slot = min_it->slot;
-  timeline.slots.resize(static_cast<std::size_t>(max_it->slot - min_it->slot) + 1);
-  for (const SlotObservation& observation : observations_) {
-    auto& cell =
-        timeline.slots[static_cast<std::size_t>(observation.slot - timeline.base_slot)];
-    if (!cell.has_value()) cell = observation;
+  // The parse may only conclude "no packet starts here" where every slot
+  // a decision probes is final, so the scan limit stays at least the
+  // receiver's lookahead behind the head; the (larger) holdback keeps
+  // gap-straddling packets pending until a whole frame period has
+  // arrived past them.
+  std::size_t limit = window_.slots.size();
+  if (!final_flush) {
+    const auto margin = static_cast<std::size_t>(
+        std::max(holdback_slots(),
+                 static_cast<long long>(receiver_.scan_lookahead_slots())));
+    limit = limit > margin ? limit - margin : 0;
   }
 
-  const ReceiverReport report = receiver_.parse(timeline);
-  std::vector<PacketRecord> fresh;
-  for (const PacketRecord& record : report.packets) {
-    if (record.start_slot <= last_reported_start_) continue;
-    if (record.start_slot > horizon_slot) continue;
-    fresh.push_back(record);
+  ReceiverReport report;
+  resume_position_ =
+      receiver_.parse_from(window_, resume_position_, limit, report, final_flush);
+  payload_.insert(payload_.end(), report.payload.begin(), report.payload.end());
+
+  // Evict everything the parse can never revisit: the resume point only
+  // moves forward, so slots more than the tail behind it are dead.
+  const auto tail = static_cast<std::size_t>(tail_keep_slots());
+  if (resume_position_ > tail) {
+    const std::size_t evict = resume_position_ - tail;
+    window_.slots.erase(window_.slots.begin(),
+                        window_.slots.begin() + static_cast<std::ptrdiff_t>(evict));
+    window_.base_slot += static_cast<long long>(evict);
+    resume_position_ -= evict;
+    stats_.slots_evicted += static_cast<long long>(evict);
   }
-  for (const PacketRecord& record : fresh) {
-    last_reported_start_ = std::max(last_reported_start_, record.start_slot);
-    if (record.kind == protocol::PacketKind::kData && record.ok) {
-      payload_.insert(payload_.end(), record.payload.begin(), record.payload.end());
-    }
-  }
-  return fresh;
+
+  ++stats_.drains;
+  stats_.slots_scanned += report.slots_scanned;
+  stats_.last_drain_slots_scanned = report.slots_scanned;
+  stats_.window_slots = static_cast<long long>(window_.slots.size());
+  stats_.peak_window_slots = std::max(stats_.peak_window_slots, stats_.window_slots);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  stats_.last_drain_time_s = elapsed;
+  stats_.parse_time_s += elapsed;
+  return std::move(report.packets);
 }
 
 std::vector<PacketRecord> StreamingReceiver::poll() {
-  if (latest_slot_ < 0) return {};
-  // Hold back anything within one frame period of the stream head: a
-  // packet there may still gain slots (its tail can arrive with the
-  // next frame after the gap).
-  const long long holdback = static_cast<long long>(
-      receiver_.config().symbol_rate_hz / 30.0) + 4;
-  return drain(latest_slot_ - holdback);
+  return drain(/*final_flush=*/false);
 }
 
 std::vector<PacketRecord> StreamingReceiver::finish() {
-  if (latest_slot_ < 0) return {};
-  return drain(latest_slot_);
+  return drain(/*final_flush=*/true);
 }
 
 }  // namespace colorbars::rx

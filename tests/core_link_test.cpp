@@ -90,6 +90,23 @@ TEST(LinkSimulator, MeasuredLossMatchesProfile) {
   }
 }
 
+TEST(LinkSimulator, EmptySerRunReportsZeroLoss) {
+  // 0 symbols sent used to yield a NaN loss ratio (0/0); it must be 0.
+  LinkConfig config;
+  LinkSimulator sim(config);
+  const SerResult result = sim.run_ser(0);
+  EXPECT_EQ(result.symbols_sent, 0);
+  EXPECT_DOUBLE_EQ(result.inter_frame_loss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(result.ser(), 0.0);
+}
+
+TEST(LinkSimulator, ReceiverConfigCarriesProfileFrameRate) {
+  LinkConfig config;
+  config.profile = camera::ideal_profile();
+  config.profile.fps = 48.0;
+  EXPECT_DOUBLE_EQ(config.receiver_config().frame_rate_hz, 48.0);
+}
+
 TEST(LinkSimulator, ThroughputScalesWithBitsPerSymbol) {
   double previous = 0.0;
   for (const csk::CskOrder order :

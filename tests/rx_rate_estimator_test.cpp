@@ -55,6 +55,20 @@ INSTANTIATE_TEST_SUITE_P(Rates, RateRecovery,
                            return "Hz" + std::to_string(static_cast<int>(info.param));
                          });
 
+TEST(RateEstimator, DegenerateRangeReturnsNoEstimate) {
+  // A non-positive minimum rate used to hang the multiplicative coarse
+  // scan (rate *= 1.01 never leaves zero); an inverted range has no
+  // candidates. Both must return an implausible estimate immediately.
+  const auto frames = capture_at_rate(1000.0, 99);
+  for (const auto& [min_rate, max_rate] :
+       {std::pair{0.0, 4500.0}, {-100.0, 4500.0}, {2000.0, 1000.0}}) {
+    const RateEstimate estimate = estimate_symbol_rate(frames, min_rate, max_rate);
+    EXPECT_FALSE(estimate.plausible()) << min_rate << ".." << max_rate;
+    EXPECT_DOUBLE_EQ(estimate.symbol_rate_hz, 0.0) << min_rate << ".." << max_rate;
+    EXPECT_GT(estimate.band_count, 0);  // the guard fires after band counting
+  }
+}
+
 TEST(RateEstimator, StaticSceneIsNotPlausible) {
   // A steady white LED produces one band per frame — no rate information.
   const led::TriLed led;
