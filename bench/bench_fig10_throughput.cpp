@@ -31,8 +31,9 @@ int main() {
         config.seed = 0xf10 + static_cast<std::uint64_t>(frequency) +
                       (static_cast<std::uint64_t>(order) << 20);
         core::LinkSimulator sim(config);
-        const core::ThroughputResult result = sim.run_throughput(2.0);
-        std::printf(" %9.2fkb", result.throughput_bps() / 1000.0);
+        // 2 s per point, split into parallel trials on derived seeds.
+        const core::ThroughputBatchResult batch = sim.run_throughput_trials(2, 1.0);
+        std::printf(" %9.2fkb", batch.throughput_bps.mean / 1000.0);
       }
       std::printf("\n");
     }

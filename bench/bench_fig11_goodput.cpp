@@ -34,8 +34,9 @@ int main() {
         config.seed = 0xf11 + static_cast<std::uint64_t>(frequency) +
                       (static_cast<std::uint64_t>(order) << 20);
         core::LinkSimulator sim(config);
-        const core::LinkRunResult result = sim.run_goodput(3.0);
-        std::printf(" %9.2fkb", result.goodput_bps() / 1000.0);
+        // 3 s per point, split into parallel trials on derived seeds.
+        const core::GoodputBatchResult batch = sim.run_goodput_trials(2, 1.5);
+        std::printf(" %9.2fkb", batch.goodput_bps.mean / 1000.0);
       }
       std::printf("\n");
     }

@@ -5,11 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "colorbars/camera/bayer.hpp"
 #include "colorbars/camera/camera.hpp"
 #include "colorbars/color/lab.hpp"
+#include "colorbars/color/lut.hpp"
 #include "colorbars/color/srgb.hpp"
 #include "colorbars/csk/mapper.hpp"
+#include "colorbars/led/emission.hpp"
 #include "colorbars/led/tri_led.hpp"
 #include "colorbars/protocol/symbols.hpp"
 #include "colorbars/rs/reed_solomon.hpp"
@@ -33,6 +38,47 @@ void BM_SrgbToLab(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long long>(pixels.size()));
 }
 BENCHMARK(BM_SrgbToLab);
+
+void BM_Rgb8ToLabFast(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<color::Rgb8> pixels(4096);
+  for (auto& pixel : pixels) {
+    pixel = {static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256))};
+  }
+  for (auto _ : state) {
+    for (const auto& pixel : pixels) {
+      benchmark::DoNotOptimize(color::rgb8_to_lab_fast(pixel));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(pixels.size()));
+}
+BENCHMARK(BM_Rgb8ToLabFast);
+
+void BM_TraceAverage(benchmark::State& state) {
+  // Row-exposure-sized windows against traces of growing length: the
+  // prefix-sum integral keeps this O(log segments) per window instead of
+  // O(segments in window).
+  const int segments = static_cast<int>(state.range(0));
+  util::Xoshiro256 rng(10);
+  led::EmissionTrace trace;
+  for (int i = 0; i < segments; ++i) {
+    trace.append(rng.uniform(1e-4, 6e-4), {rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  std::vector<std::pair<double, double>> windows;
+  for (int i = 0; i < 1024; ++i) {
+    const double t0 = rng.uniform(0.0, trace.duration());
+    windows.emplace_back(t0, t0 + 1e-3);
+  }
+  for (auto _ : state) {
+    for (const auto& [lo, hi] : windows) {
+      benchmark::DoNotOptimize(trace.average(lo, hi));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(windows.size()));
+}
+BENCHMARK(BM_TraceAverage)->Arg(1000)->Arg(20000);
 
 void BM_BayerDemosaic(benchmark::State& state) {
   const int rows = static_cast<int>(state.range(0));
@@ -146,4 +192,26 @@ BENCHMARK(BM_CameraCaptureFrame);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: mirror the console run into BENCH_micro.json so the
+// per-stage timings land in a machine-readable artifact alongside the
+// human-readable table. An explicit --benchmark_out flag wins over the
+// default; all other standard --benchmark_* flags pass through.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -62,11 +62,15 @@ class RollingShutterCamera {
 
   /// Records video for the duration of the trace: frames every
   /// 1/fps seconds with the inter-frame gap between them, starting at
-  /// `start_offset_s`.
+  /// `start_offset_s`. Frames are synthesized in parallel on the shared
+  /// runtime pool; each frame's AE-hunt and noise randomness comes from
+  /// a counter-derived per-frame stream, so the captured video is
+  /// byte-identical at every thread count.
   [[nodiscard]] std::vector<Frame> capture_video(const led::EmissionTrace& trace,
                                                  double start_offset_s = 0.0);
 
-  /// Vignetting gain at a pixel (1 at center, 1 - strength at corners).
+  /// Vignetting gain at a pixel (1 at center, 1 - strength at corners,
+  /// clamped at 0 so an extreme profile cannot produce negative charge).
   [[nodiscard]] double vignette_gain(int row, int column) const noexcept;
 
  private:
@@ -74,10 +78,23 @@ class RollingShutterCamera {
   [[nodiscard]] led::Vec3 expose_row(const led::EmissionTrace& trace, double read_time_s,
                                      const ExposureSettings& settings) const noexcept;
 
+  /// Synthesizes one frame drawing all randomness from `rng` — the
+  /// re-entrant core shared by capture_frame (member RNG) and the
+  /// parallel capture_video (per-frame derived streams).
+  [[nodiscard]] Frame render_frame(const led::EmissionTrace& trace, double start_time_s,
+                                   int frame_index, util::Xoshiro256& rng) const;
+
   SensorProfile profile_;
   SceneConfig scene_;
   std::optional<ExposureSettings> manual_exposure_;
   util::Xoshiro256 rng_;
+  /// Sensor response to the constant D65 ambient term, hoisted out of
+  /// the per-row exposure integral.
+  led::Vec3 ambient_sensor_;
+  /// Separable squared vignette distances, precomputed per row/column so
+  /// the per-pixel gain is two lookups and a multiply.
+  std::vector<double> vignette_row2_;
+  std::vector<double> vignette_col2_;
 };
 
 }  // namespace colorbars::camera

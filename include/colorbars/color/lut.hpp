@@ -1,0 +1,55 @@
+#pragma once
+
+// Table-driven fast path for the receiver's per-pixel color chain
+// (Rgb8 -> sRGB decode -> XYZ -> CIELab). The chain dominates
+// `reduce_to_scanlines`, which runs over every pixel of every frame:
+//
+//  - sRGB decode of an 8-bit channel has only 256 possible inputs, so a
+//    256-entry table replaces the std::pow in srgb_decode *exactly*.
+//  - The matrix multiply and the D65 white normalization fold into three
+//    256-entry Vec3 tables (one per channel): X/Xn,Y/Yn,Z/Zn of a pixel
+//    is the sum of its three channel contributions.
+//  - The CIE f() cube-root transfer is evaluated from a dense linearly
+//    interpolated table. f is C1 everywhere on [0, 1] (the linear toe
+//    matches value and slope at the 216/24389 knee), so interpolation
+//    error is bounded by the curvature: < 1e-5 in f, well under the
+//    8-bit quantization floor of the inputs.
+//
+// The fast chain agrees with the exact chain to within ~1e-3 Lab units
+// (verified by color_lut_test), two orders of magnitude below the
+// ΔE ≈ 2.3 just-noticeable-difference the receiver classifies against.
+
+#include <array>
+
+#include "colorbars/color/lab.hpp"
+#include "colorbars/color/srgb.hpp"
+
+namespace colorbars::color {
+
+/// Exact linear value of each 8-bit sRGB code (srgb_decode(v / 255)).
+[[nodiscard]] const std::array<double, 256>& srgb_decode_table() noexcept;
+
+/// Exact linear RGB of an 8-bit pixel via the decode table.
+[[nodiscard]] Vec3 linear_of_rgb8(const Rgb8& pixel) noexcept;
+
+/// CIE Lab f() transfer via the interpolated table (inputs outside
+/// [0, 1] fall back to the exact evaluation).
+[[nodiscard]] double lab_f_fast(double t) noexcept;
+
+/// Fast Rgb8 -> Lab: decode + matrix + white normalization from tables,
+/// f() interpolated. Agrees with
+/// xyz_to_lab(linear_srgb_to_xyz(srgb_decode(from_rgb8(p)))) to within
+/// the tolerance documented above.
+[[nodiscard]] Lab rgb8_to_lab_fast(const Rgb8& pixel) noexcept;
+
+/// Fused sRGB encode + 8-bit quantization of one linear channel.
+/// Returns *exactly* to_rgb8(srgb_encode(...)) for every input — the 255
+/// code-decision boundaries are located once by bisecting the exact
+/// encode chain, so the hot path needs no std::pow at all.
+[[nodiscard]] std::uint8_t quantize_srgb_channel(double linear) noexcept;
+
+/// Fused encode + quantization of a linear RGB pixel; bit-identical to
+/// to_rgb8(srgb_encode(linear)).
+[[nodiscard]] Rgb8 quantize_srgb(const Vec3& linear) noexcept;
+
+}  // namespace colorbars::color

@@ -12,6 +12,11 @@
 #include "colorbars/rx/receiver.hpp"
 #include "colorbars/tx/transmitter.hpp"
 
+// Batch trial APIs (run_*_trials) fan independent Monte-Carlo trials
+// across the runtime thread pool with counter-derived seeds, so batch
+// results are byte-identical at every thread count (see DESIGN.md,
+// "runtime subsystem").
+
 namespace colorbars::core {
 
 /// Full link configuration.
@@ -33,10 +38,30 @@ struct LinkConfig {
   bool use_erasure_decoding = true;
   std::uint64_t seed = 0xc01055eedULL;
 
+  /// RS code for this link, derived from the profile's loss ratio per
+  /// the paper's §5 formulas. Memoized on the derivation inputs, so the
+  /// transmitter/receiver config builders (and any callers between
+  /// field edits) share one computation instead of re-deriving.
+  [[nodiscard]] rs::CodeParameters code() const;
+
   /// Builds matching transmitter / receiver configurations, deriving the
   /// RS code from the profile's loss ratio per the paper's §5 formulas.
   [[nodiscard]] tx::TransmitterConfig transmitter_config() const;
   [[nodiscard]] rx::ReceiverConfig receiver_config() const;
+
+ private:
+  /// code() memo, keyed on the derivation inputs so field edits after a
+  /// first call cannot serve a stale code.
+  struct CodeMemo {
+    bool valid = false;
+    csk::CskOrder order{};
+    double symbol_rate_hz = 0.0;
+    double fps = 0.0;
+    double loss_ratio = 0.0;
+    double illumination_ratio = 0.0;
+    rs::CodeParameters params{};
+  };
+  mutable CodeMemo code_memo_;
 };
 
 /// Result of one end-to-end payload transfer.
@@ -85,6 +110,32 @@ struct ThroughputResult {
   }
 };
 
+/// Mean / sample standard deviation of one metric over a trial batch.
+struct BatchStats {
+  int trials = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Aggregate of independent SER trials (Fig. 9 error bars).
+struct SerBatchResult {
+  std::vector<SerResult> trials;
+  BatchStats ser;
+  BatchStats inter_frame_loss_ratio;
+};
+
+/// Aggregate of independent raw-throughput trials (Fig. 10).
+struct ThroughputBatchResult {
+  std::vector<ThroughputResult> trials;
+  BatchStats throughput_bps;
+};
+
+/// Aggregate of independent goodput trials (Fig. 11).
+struct GoodputBatchResult {
+  std::vector<LinkRunResult> trials;
+  BatchStats goodput_bps;
+};
+
 /// Derives the RS(n, k) code for a link so that one whole packet
 /// (delimiter + flag + size field + white-interleaved payload) fits into
 /// one frame-plus-gap period, with parity sized per the paper's §5 rule
@@ -117,6 +168,25 @@ class LinkSimulator {
   /// Measures goodput (Fig. 11): RS-recovered payload bits per second
   /// over a stream of `duration_s` seconds of back-to-back data packets.
   [[nodiscard]] LinkRunResult run_goodput(double duration_s);
+
+  // Batch trial APIs. Each trial runs a fresh simulator whose seed is
+  // derive_stream_seed(config.seed, trial_index); trials execute in
+  // parallel on the shared runtime pool and aggregate deterministically
+  // in trial order, so the batch is byte-identical at any thread count.
+
+  /// `trial_count` independent SER measurements of `symbols_per_trial`
+  /// symbols each.
+  [[nodiscard]] SerBatchResult run_ser_trials(int trial_count, int symbols_per_trial) const;
+
+  /// `trial_count` independent raw-throughput measurements of
+  /// `duration_s` seconds each.
+  [[nodiscard]] ThroughputBatchResult run_throughput_trials(int trial_count,
+                                                            double duration_s) const;
+
+  /// `trial_count` independent goodput measurements of `duration_s`
+  /// seconds each.
+  [[nodiscard]] GoodputBatchResult run_goodput_trials(int trial_count,
+                                                      double duration_s) const;
 
  private:
   LinkConfig config_;

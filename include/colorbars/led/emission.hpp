@@ -49,15 +49,24 @@ class EmissionTrace {
   /// Mean radiance over the window [t0, t1] (exact integral of the
   /// piecewise-constant waveform divided by the window length). Windows
   /// extending beyond the trace integrate darkness there, matching an
-  /// LED that is off outside the transmission.
+  /// LED that is off outside the transmission. O(log n) per call: the
+  /// integral is the difference of two prefix sums, not a segment walk,
+  /// so the cost is independent of how many segments the window spans.
   [[nodiscard]] Vec3 average(double t0, double t1) const noexcept;
 
  private:
   /// Index of the segment containing time `t` via binary search.
   [[nodiscard]] std::size_t segment_at(double t) const noexcept;
 
+  /// Integral of the waveform over [0, t]; `t` must be in [0, duration].
+  [[nodiscard]] Vec3 integral_to(double t) const noexcept;
+
   std::vector<EmissionSegment> segments_;
   std::vector<double> start_times_;  // start time of each segment
+  // cumulative_[i] = integral of segments [0, i); one extra leading zero
+  // entry. Maintained incrementally by append, so concurrent const reads
+  // (parallel frame synthesis) need no lazy finalization or locking.
+  std::vector<Vec3> cumulative_{Vec3{}};
   double total_duration_ = 0.0;
 };
 

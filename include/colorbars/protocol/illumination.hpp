@@ -32,7 +32,9 @@ class IlluminationSchedule {
   /// white illumination symbol. The schedule spreads white slots evenly
   /// using an error-diffusion (Bresenham) rule, so whites are periodic
   /// rather than bunched — maximizing their flicker-suppression effect.
-  [[nodiscard]] bool is_white_slot(int slot_index) const noexcept;
+  /// Takes the full 64-bit slot index: long-duration sweeps index slots
+  /// as long long and must not truncate through an int parameter.
+  [[nodiscard]] bool is_white_slot(long long slot_index) const noexcept;
 
   /// Total slots needed to carry `data_count` data symbols.
   [[nodiscard]] int slots_for_data(int data_count) const noexcept;

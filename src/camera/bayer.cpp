@@ -48,36 +48,101 @@ double neighbor_mean(const std::vector<double>& raw, int rows, int columns, int 
 
 }  // namespace
 
+namespace {
+
+/// Generic (bounds-checked) reconstruction of one pixel; used for the
+/// image border where neighbors may fall outside.
+util::Vec3 demosaic_pixel(const std::vector<double>& raw, int rows, int columns, int r,
+                          int c) {
+  const double own = raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(columns) +
+                         static_cast<std::size_t>(c)];
+  util::Vec3 pixel;
+  switch (bayer_channel(r, c)) {
+    case BayerChannel::kRed:
+      pixel.x = own;
+      pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
+      pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
+      break;
+    case BayerChannel::kGreen:
+      pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
+      pixel.y = own;
+      pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
+      break;
+    case BayerChannel::kBlue:
+      pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
+      pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
+      pixel.z = own;
+      break;
+  }
+  return pixel;
+}
+
+}  // namespace
+
 FloatImage demosaic(const std::vector<double>& raw, int rows, int columns) {
   if (raw.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns)) {
     throw std::invalid_argument("demosaic: raw size does not match dimensions");
   }
   FloatImage rgb(rows, columns);
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < columns; ++c) {
-      const double own =
-          raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(columns) +
-              static_cast<std::size_t>(c)];
+
+  // Interior fast path: away from the border every RGGB phase has a
+  // fixed in-bounds neighbor set, so the per-neighbor bounds and channel
+  // checks fold away. Sums accumulate in the same order neighbor_mean
+  // visits its offset table, keeping the result bit-identical.
+  for (int r = 1; r + 1 < rows; ++r) {
+    const double* up = &raw[static_cast<std::size_t>(r - 1) * static_cast<std::size_t>(columns)];
+    const double* mid = up + columns;
+    const double* down = mid + columns;
+    const bool even_row = (r % 2) == 0;
+    for (int c = 1; c + 1 < columns; ++c) {
+      const double own = mid[c];
+      const bool even_col = (c % 2) == 0;
       util::Vec3 pixel;
-      switch (bayer_channel(r, c)) {
-        case BayerChannel::kRed:
-          pixel.x = own;
-          pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
-          pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
-          break;
-        case BayerChannel::kGreen:
-          pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
-          pixel.y = own;
-          pixel.z = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kBlue);
-          break;
-        case BayerChannel::kBlue:
-          pixel.x = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kRed);
-          pixel.y = neighbor_mean(raw, rows, columns, r, c, BayerChannel::kGreen);
-          pixel.z = own;
-          break;
+      if (even_row && even_col) {  // red site
+        double green = up[c];
+        green += mid[c - 1];
+        green += mid[c + 1];
+        green += down[c];
+        double blue = up[c - 1];
+        blue += up[c + 1];
+        blue += down[c - 1];
+        blue += down[c + 1];
+        pixel = {own, green / 4, blue / 4};
+      } else if (!even_row && !even_col) {  // blue site
+        double red = up[c - 1];
+        red += up[c + 1];
+        red += down[c - 1];
+        red += down[c + 1];
+        double green = up[c];
+        green += mid[c - 1];
+        green += mid[c + 1];
+        green += down[c];
+        pixel = {red / 4, green / 4, own};
+      } else if (even_row) {  // green site between reds horizontally
+        double red = mid[c - 1];
+        red += mid[c + 1];
+        double blue = up[c];
+        blue += down[c];
+        pixel = {red / 2, own, blue / 2};
+      } else {  // green site between reds vertically
+        double red = up[c];
+        red += down[c];
+        double blue = mid[c - 1];
+        blue += mid[c + 1];
+        pixel = {red / 2, own, blue / 2};
       }
       rgb.at(r, c) = pixel;
     }
+  }
+
+  // Border pixels go through the generic bounds-checked path.
+  for (int c = 0; c < columns; ++c) {
+    rgb.at(0, c) = demosaic_pixel(raw, rows, columns, 0, c);
+    if (rows > 1) rgb.at(rows - 1, c) = demosaic_pixel(raw, rows, columns, rows - 1, c);
+  }
+  for (int r = 1; r + 1 < rows; ++r) {
+    rgb.at(r, 0) = demosaic_pixel(raw, rows, columns, r, 0);
+    if (columns > 1) rgb.at(r, columns - 1) = demosaic_pixel(raw, rows, columns, r, columns - 1);
   }
   return rgb;
 }

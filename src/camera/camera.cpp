@@ -6,6 +6,9 @@
 
 #include "colorbars/camera/bayer.hpp"
 #include "colorbars/color/cie.hpp"
+#include "colorbars/color/lut.hpp"
+#include "colorbars/runtime/seed.hpp"
+#include "colorbars/runtime/thread_pool.hpp"
 
 namespace colorbars::camera {
 
@@ -17,6 +20,18 @@ RollingShutterCamera::RollingShutterCamera(SensorProfile profile, SceneConfig sc
   if (profile_.rows <= 0 || profile_.columns <= 0 || profile_.fps <= 0.0 ||
       profile_.inter_frame_loss_ratio < 0.0 || profile_.inter_frame_loss_ratio >= 1.0) {
     throw std::invalid_argument("RollingShutterCamera: invalid sensor profile");
+  }
+  ambient_sensor_ =
+      profile_.xyz_to_sensor_rgb * color::xyy_to_xyz(color::kD65, scene_.ambient_level);
+  vignette_row2_.resize(static_cast<std::size_t>(profile_.rows));
+  for (int r = 0; r < profile_.rows; ++r) {
+    const double dr = (r - 0.5 * (profile_.rows - 1)) / (0.5 * profile_.rows);
+    vignette_row2_[static_cast<std::size_t>(r)] = dr * dr;
+  }
+  vignette_col2_.resize(static_cast<std::size_t>(profile_.columns));
+  for (int c = 0; c < profile_.columns; ++c) {
+    const double dc = (c - 0.5 * (profile_.columns - 1)) / (0.5 * profile_.columns);
+    vignette_col2_[static_cast<std::size_t>(c)] = dc * dc;
   }
 }
 
@@ -47,20 +62,21 @@ ExposureSettings RollingShutterCamera::auto_exposure(const Vec3& mean_radiance) 
 
 double RollingShutterCamera::vignette_gain(int row, int column) const noexcept {
   if (profile_.vignette_strength <= 0.0) return 1.0;
-  const double dr = (row - 0.5 * (profile_.rows - 1)) / (0.5 * profile_.rows);
-  const double dc = (column - 0.5 * (profile_.columns - 1)) / (0.5 * profile_.columns);
-  const double radial2 = 0.5 * (dr * dr + dc * dc);
-  return 1.0 - profile_.vignette_strength * radial2;
+  const double radial2 = 0.5 * (vignette_row2_[static_cast<std::size_t>(row)] +
+                                vignette_col2_[static_cast<std::size_t>(column)]);
+  // A strength > 2 profile would otherwise go negative at the corners
+  // and inject negative "charge" upstream of the sensor clip.
+  return std::max(1.0 - profile_.vignette_strength * radial2, 0.0);
 }
 
 Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double read_time_s,
                                       const ExposureSettings& settings) const noexcept {
-  // Exposure window ends at the scanline's readout instant.
+  // Exposure window ends at the scanline's readout instant. The D65
+  // ambient term is constant across rows and frames, so its sensor
+  // response is precomputed once at construction.
   const Vec3 led_xyz =
       trace.average(read_time_s - settings.exposure_s, read_time_s) * scene_.signal_scale;
-  const Vec3 ambient_xyz = color::xyy_to_xyz(color::kD65, scene_.ambient_level);
-  const Vec3 scene_xyz = led_xyz + ambient_xyz;
-  const Vec3 sensor = profile_.xyz_to_sensor_rgb * scene_xyz;
+  const Vec3 sensor = profile_.xyz_to_sensor_rgb * led_xyz + ambient_sensor_;
   const double gain =
       profile_.sensitivity * (settings.iso / 100.0) * (settings.exposure_s * 1000.0);
   // CFA responses are non-negative; a strongly skewed matrix could go
@@ -70,6 +86,12 @@ Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double re
 
 Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
                                           double start_time_s, int frame_index) {
+  return render_frame(trace, start_time_s, frame_index, rng_);
+}
+
+Frame RollingShutterCamera::render_frame(const led::EmissionTrace& trace,
+                                         double start_time_s, int frame_index,
+                                         util::Xoshiro256& rng) const {
   ExposureSettings settings;
   if (manual_exposure_.has_value()) {
     settings = *manual_exposure_;
@@ -79,7 +101,7 @@ Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
     settings = auto_exposure(mean);
     // Frame-to-frame AE hunting: phones in auto mode never hold settings
     // perfectly steady (paper §6.2).
-    settings.exposure_s *= std::clamp(rng_.normal(1.0, 0.03), 0.85, 1.15);
+    settings.exposure_s *= std::clamp(rng.normal(1.0, 0.03), 0.85, 1.15);
     settings.exposure_s = std::clamp(settings.exposure_s, profile_.min_exposure_s,
                                      profile_.max_exposure_s);
   }
@@ -98,6 +120,7 @@ Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
   // Mosaic sampling with photon shot noise and read noise per site.
   std::vector<double> raw(static_cast<std::size_t>(profile_.rows) *
                           static_cast<std::size_t>(profile_.columns));
+  const double read_sigma = profile_.read_noise * iso_gain;
   for (int r = 0; r < profile_.rows; ++r) {
     const Vec3& response = row_response[static_cast<std::size_t>(r)];
     for (int c = 0; c < profile_.columns; ++c) {
@@ -110,9 +133,8 @@ Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
       signal *= vignette_gain(r, c);
       const double shot_sigma = std::sqrt(std::max(signal, 0.0) * iso_gain /
                                           profile_.well_capacity);
-      const double read_sigma = profile_.read_noise * iso_gain;
       const double noisy =
-          signal + rng_.normal() * shot_sigma + rng_.normal() * read_sigma;
+          signal + rng.normal() * shot_sigma + rng.normal() * read_sigma;
       raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(profile_.columns) +
           static_cast<std::size_t>(c)] = std::clamp(noisy, 0.0, 1.0);
     }
@@ -132,7 +154,8 @@ Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
   frame.frame_index = frame_index;
   for (int r = 0; r < profile_.rows; ++r) {
     for (int c = 0; c < profile_.columns; ++c) {
-      frame.at(r, c) = color::to_rgb8(color::srgb_encode(rgb.at(r, c)));
+      // Bit-identical to to_rgb8(srgb_encode(...)) but pow-free.
+      frame.at(r, c) = color::quantize_srgb(rgb.at(r, c));
     }
   }
   return frame;
@@ -140,27 +163,46 @@ Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
 
 std::vector<Frame> RollingShutterCamera::capture_video(const led::EmissionTrace& trace,
                                                        double start_offset_s) {
-  std::vector<Frame> frames;
   const double period = profile_.frame_period_s();
   // Frame timing wanders as a bounded random walk inside the gap
   // (auto-exposure hunting continuously reshuffles readout start on real
   // phones). The walk, unlike independent jitter, sweeps the full offset
   // range over tens of frames — which is what de-phases the inter-frame
   // gap from a packet stream sized to one frame period.
+  //
+  // The walk is inherently sequential but cheap, so it is precomputed
+  // here from the member RNG; frame synthesis — the expensive part —
+  // then fans out over the runtime pool with one derived RNG stream per
+  // frame index, making the video byte-identical at any thread count.
   const double offset_max =
       std::min(profile_.frame_start_jitter_s, 0.8 * profile_.gap_duration_s());
   double offset = offset_max > 0.0 ? rng_.uniform(0.0, offset_max) : 0.0;
+  std::vector<double> start_times;
   for (int index = 0;; ++index) {
     // Multiply rather than accumulate so rounding cannot create a
     // spurious extra frame at an exact trace boundary.
     const double nominal = start_offset_s + index * period;
     if (nominal >= trace.duration() - 1e-12) break;
-    frames.push_back(capture_frame(trace, nominal + offset, index));
+    start_times.push_back(nominal + offset);
     if (offset_max > 0.0) {
       offset += rng_.uniform(-0.4, 0.4) * offset_max;
       offset = std::clamp(offset, 0.0, offset_max);
     }
   }
+
+  const std::uint64_t stream_seed = rng_();
+  std::vector<Frame> frames(start_times.size());
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(start_times.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto index = static_cast<std::size_t>(i);
+          util::Xoshiro256 frame_rng(
+              runtime::derive_stream_seed(stream_seed, static_cast<std::uint64_t>(i)));
+          frames[index] = render_frame(trace, start_times[index],
+                                       static_cast<int>(i), frame_rng);
+        }
+      });
   return frames;
 }
 

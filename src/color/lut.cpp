@@ -1,0 +1,163 @@
+#include "colorbars/color/lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "colorbars/color/cie.hpp"
+
+namespace colorbars::color {
+
+namespace {
+
+constexpr double kEpsilon = 216.0 / 24389.0;  // (6/29)^3
+constexpr double kKappa = 24389.0 / 27.0;     // (29/3)^3
+
+double lab_f_exact(double t) noexcept {
+  if (t > kEpsilon) return std::cbrt(t);
+  return (kKappa * t + 16.0) / 116.0;
+}
+
+// f() samples over [0, 1]. 4096 intervals keep the interpolation error
+// below 5e-6 even at the knee, where the curvature is largest.
+constexpr int kLabFSamples = 4097;
+
+struct LabFTable {
+  std::array<double, kLabFSamples> values{};
+  LabFTable() {
+    for (int i = 0; i < kLabFSamples; ++i) {
+      values[static_cast<std::size_t>(i)] =
+          lab_f_exact(static_cast<double>(i) / (kLabFSamples - 1));
+    }
+  }
+};
+
+const LabFTable& lab_f_table() noexcept {
+  static const LabFTable table;
+  return table;
+}
+
+// Per-channel pixel -> white-normalized XYZ contribution tables:
+// channel_xyz[c][v] = decode(v) * (column c of sRGB->XYZ) / D65 white.
+struct ChannelTables {
+  std::array<std::array<Vec3, 256>, 3> contributions{};
+  ChannelTables() {
+    const Mat3& m = srgb_to_xyz_matrix();
+    const XYZ white = d65_white_xyz();
+    const std::array<double, 256>& decode = srgb_decode_table();
+    for (int channel = 0; channel < 3; ++channel) {
+      const auto c = static_cast<std::size_t>(channel);
+      const Vec3 column{m(0, c) / white.x, m(1, c) / white.y, m(2, c) / white.z};
+      for (int v = 0; v < 256; ++v) {
+        contributions[c][static_cast<std::size_t>(v)] =
+            column * decode[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+};
+
+const ChannelTables& channel_tables() noexcept {
+  static const ChannelTables tables;
+  return tables;
+}
+
+/// The reference scalar chain quantize_srgb_channel must reproduce:
+/// clamp -> gamma encode -> clamp -> round to the nearest 8-bit code.
+std::uint8_t reference_srgb_code(double linear) noexcept {
+  const double encoded = std::clamp(srgb_encode(std::clamp(linear, 0.0, 1.0)), 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(encoded * 255.0));
+}
+
+// Code-decision boundaries plus a bucket accelerator. boundaries[c] is
+// the smallest double whose reference code is >= c+1, found by bisection
+// (the encode chain is monotone). The 4096-bucket floor table then
+// leaves at most a couple of boundary comparisons per lookup, because
+// the encode slope never exceeds 12.92 (=> < 1 code per bucket).
+struct QuantTables {
+  static constexpr int kBuckets = 4096;
+  std::array<double, 255> boundaries{};
+  std::array<std::uint8_t, kBuckets + 1> bucket_floor{};
+  QuantTables() {
+    for (int code = 0; code < 255; ++code) {
+      double lo = 0.0;   // reference code 0 <= code
+      double hi = 1.0;   // reference code 255 >= code+1
+      for (;;) {
+        const double mid = 0.5 * (lo + hi);
+        if (mid <= lo || mid >= hi) break;
+        if (reference_srgb_code(mid) >= code + 1) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      boundaries[static_cast<std::size_t>(code)] = hi;
+    }
+    for (int k = 0; k <= kBuckets; ++k) {
+      const double x = static_cast<double>(k) / kBuckets;
+      const auto below = std::upper_bound(boundaries.begin(), boundaries.end(), x);
+      bucket_floor[static_cast<std::size_t>(k)] =
+          static_cast<std::uint8_t>(below - boundaries.begin());
+    }
+  }
+};
+
+const QuantTables& quant_tables() noexcept {
+  static const QuantTables tables;
+  return tables;
+}
+
+}  // namespace
+
+const std::array<double, 256>& srgb_decode_table() noexcept {
+  static const std::array<double, 256> table = [] {
+    std::array<double, 256> t{};
+    for (int v = 0; v < 256; ++v) {
+      t[static_cast<std::size_t>(v)] = srgb_decode(v / 255.0);
+    }
+    return t;
+  }();
+  return table;
+}
+
+Vec3 linear_of_rgb8(const Rgb8& pixel) noexcept {
+  const std::array<double, 256>& table = srgb_decode_table();
+  return {table[pixel.r], table[pixel.g], table[pixel.b]};
+}
+
+double lab_f_fast(double t) noexcept {
+  if (t < 0.0 || t > 1.0) return lab_f_exact(t);
+  const double scaled = t * (kLabFSamples - 1);
+  const int index = static_cast<int>(scaled);
+  if (index >= kLabFSamples - 1) return lab_f_table().values[kLabFSamples - 1];
+  const double fraction = scaled - index;
+  const std::array<double, kLabFSamples>& values = lab_f_table().values;
+  const auto i = static_cast<std::size_t>(index);
+  return values[i] + (values[i + 1] - values[i]) * fraction;
+}
+
+Lab rgb8_to_lab_fast(const Rgb8& pixel) noexcept {
+  const ChannelTables& tables = channel_tables();
+  // White-normalized XYZ as the sum of the three channel contributions.
+  const Vec3 ratio = tables.contributions[0][pixel.r] +
+                     tables.contributions[1][pixel.g] +
+                     tables.contributions[2][pixel.b];
+  const double fx = lab_f_fast(ratio.x);
+  const double fy = lab_f_fast(ratio.y);
+  const double fz = lab_f_fast(ratio.z);
+  return {116.0 * fy - 16.0, 500.0 * (fx - fy), 200.0 * (fy - fz)};
+}
+
+std::uint8_t quantize_srgb_channel(double linear) noexcept {
+  const QuantTables& tables = quant_tables();
+  const double x = std::clamp(linear, 0.0, 1.0);
+  const auto bucket = static_cast<std::size_t>(x * QuantTables::kBuckets);
+  std::uint8_t code = tables.bucket_floor[bucket];
+  while (code < 255 && tables.boundaries[code] <= x) ++code;
+  return code;
+}
+
+Rgb8 quantize_srgb(const Vec3& linear) noexcept {
+  return {quantize_srgb_channel(linear.x), quantize_srgb_channel(linear.y),
+          quantize_srgb_channel(linear.z)};
+}
+
+}  // namespace colorbars::color

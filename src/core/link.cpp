@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "colorbars/runtime/seed.hpp"
+#include "colorbars/runtime/thread_pool.hpp"
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars::core {
@@ -39,6 +41,26 @@ rs::CodeParameters derive_link_code(csk::CskOrder order, double symbol_rate_hz,
   return {n, n - parity};
 }
 
+rs::CodeParameters LinkConfig::code() const {
+  const bool memo_hit = code_memo_.valid && code_memo_.order == order &&
+                        code_memo_.symbol_rate_hz == symbol_rate_hz &&
+                        code_memo_.fps == profile.fps &&
+                        code_memo_.loss_ratio == profile.inter_frame_loss_ratio &&
+                        code_memo_.illumination_ratio == illumination_ratio;
+  if (!memo_hit) {
+    code_memo_.order = order;
+    code_memo_.symbol_rate_hz = symbol_rate_hz;
+    code_memo_.fps = profile.fps;
+    code_memo_.loss_ratio = profile.inter_frame_loss_ratio;
+    code_memo_.illumination_ratio = illumination_ratio;
+    code_memo_.params = derive_link_code(order, symbol_rate_hz, profile.fps,
+                                         profile.inter_frame_loss_ratio,
+                                         illumination_ratio);
+    code_memo_.valid = true;
+  }
+  return code_memo_.params;
+}
+
 tx::TransmitterConfig LinkConfig::transmitter_config() const {
   tx::TransmitterConfig config;
   config.format.order = order;
@@ -46,11 +68,9 @@ tx::TransmitterConfig LinkConfig::transmitter_config() const {
   config.symbol_rate_hz = symbol_rate_hz;
   config.calibration_rate_hz = calibration_rate_hz;
   config.enable_dephasing_pad = enable_dephasing_pad;
-  const rs::CodeParameters code =
-      derive_link_code(order, symbol_rate_hz, profile.fps,
-                       profile.inter_frame_loss_ratio, illumination_ratio);
-  config.rs_n = code.n;
-  config.rs_k = code.k;
+  const rs::CodeParameters link_code = code();
+  config.rs_n = link_code.n;
+  config.rs_k = link_code.k;
   return config;
 }
 
@@ -62,11 +82,9 @@ rx::ReceiverConfig LinkConfig::receiver_config() const {
   config.frame_rate_hz = profile.fps;
   config.classifier = classifier;
   config.use_erasure_decoding = use_erasure_decoding;
-  const rs::CodeParameters code =
-      derive_link_code(order, symbol_rate_hz, profile.fps,
-                       profile.inter_frame_loss_ratio, illumination_ratio);
-  config.rs_n = code.n;
-  config.rs_k = code.k;
+  const rs::CodeParameters link_code = code();
+  config.rs_n = link_code.n;
+  config.rs_k = link_code.k;
   return config;
 }
 
@@ -205,7 +223,7 @@ ThroughputResult LinkSimulator::run_throughput(double duration_s) {
   std::vector<bool> is_data;
   is_data.reserve(static_cast<std::size_t>(total_slots));
   for (long long slot = 0; slot < total_slots; ++slot) {
-    if (schedule.is_white_slot(static_cast<int>(slot))) {
+    if (schedule.is_white_slot(slot)) {
       slots.push_back(protocol::ChannelSymbol::white());
       is_data.push_back(false);
     } else {
@@ -257,6 +275,82 @@ LinkRunResult LinkSimulator::run_goodput(double duration_s) {
     payload[i] = static_cast<std::uint8_t>(rng_.below(256));
   }
   return run_payload(payload);
+}
+
+namespace {
+
+/// Mean and sample standard deviation of `metric` over `values`.
+template <typename T, typename Metric>
+BatchStats stats_of(const std::vector<T>& values, Metric metric) {
+  BatchStats stats;
+  stats.trials = static_cast<int>(values.size());
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (const T& value : values) sum += metric(value);
+  stats.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return stats;
+  double sum_sq = 0.0;
+  for (const T& value : values) {
+    const double d = metric(value) - stats.mean;
+    sum_sq += d * d;
+  }
+  stats.stddev = std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+  return stats;
+}
+
+/// Runs `trial_count` independent trials in parallel, each on a fresh
+/// simulator seeded with derive_stream_seed(base config seed, trial).
+/// Results land in trial-index order, so aggregation is deterministic
+/// regardless of scheduling.
+template <typename Result, typename Trial>
+std::vector<Result> run_trials(const LinkConfig& base, int trial_count, Trial trial) {
+  std::vector<Result> results(static_cast<std::size_t>(std::max(trial_count, 0)));
+  runtime::parallel_for(0, static_cast<std::int64_t>(results.size()), 1,
+                        [&](std::int64_t lo, std::int64_t hi) {
+                          for (std::int64_t i = lo; i < hi; ++i) {
+                            LinkConfig config = base;
+                            config.seed = runtime::derive_stream_seed(
+                                base.seed, static_cast<std::uint64_t>(i));
+                            LinkSimulator simulator(std::move(config));
+                            results[static_cast<std::size_t>(i)] = trial(simulator);
+                          }
+                        });
+  return results;
+}
+
+}  // namespace
+
+SerBatchResult LinkSimulator::run_ser_trials(int trial_count, int symbols_per_trial) const {
+  SerBatchResult batch;
+  batch.trials = run_trials<SerResult>(config_, trial_count, [&](LinkSimulator& sim) {
+    return sim.run_ser(symbols_per_trial);
+  });
+  batch.ser = stats_of(batch.trials, [](const SerResult& r) { return r.ser(); });
+  batch.inter_frame_loss_ratio =
+      stats_of(batch.trials, [](const SerResult& r) { return r.inter_frame_loss_ratio; });
+  return batch;
+}
+
+ThroughputBatchResult LinkSimulator::run_throughput_trials(int trial_count,
+                                                           double duration_s) const {
+  ThroughputBatchResult batch;
+  batch.trials = run_trials<ThroughputResult>(
+      config_, trial_count,
+      [&](LinkSimulator& sim) { return sim.run_throughput(duration_s); });
+  batch.throughput_bps = stats_of(
+      batch.trials, [](const ThroughputResult& r) { return r.throughput_bps(); });
+  return batch;
+}
+
+GoodputBatchResult LinkSimulator::run_goodput_trials(int trial_count,
+                                                     double duration_s) const {
+  GoodputBatchResult batch;
+  batch.trials = run_trials<LinkRunResult>(
+      config_, trial_count,
+      [&](LinkSimulator& sim) { return sim.run_goodput(duration_s); });
+  batch.goodput_bps =
+      stats_of(batch.trials, [](const LinkRunResult& r) { return r.goodput_bps(); });
+  return batch;
 }
 
 }  // namespace colorbars::core

@@ -9,6 +9,7 @@ void EmissionTrace::append(double duration_s, const Vec3& rgb) {
   if (duration_s <= 0.0) return;
   start_times_.push_back(total_duration_);
   segments_.push_back({duration_s, rgb});
+  cumulative_.push_back(cumulative_.back() + rgb * duration_s);
   total_duration_ += duration_s;
 }
 
@@ -33,6 +34,11 @@ Vec3 EmissionTrace::sample(double t) const noexcept {
   return segments_[segment_at(t)].rgb;
 }
 
+Vec3 EmissionTrace::integral_to(double t) const noexcept {
+  const std::size_t index = segment_at(t);
+  return cumulative_[index] + segments_[index].rgb * (t - start_times_[index]);
+}
+
 Vec3 EmissionTrace::average(double t0, double t1) const noexcept {
   if (t1 <= t0 || segments_.empty()) return {};
   const double window = t1 - t0;
@@ -40,18 +46,7 @@ Vec3 EmissionTrace::average(double t0, double t1) const noexcept {
   const double lo = std::max(t0, 0.0);
   const double hi = std::min(t1, total_duration_);
   if (hi <= lo) return {};
-
-  Vec3 integral;
-  std::size_t index = segment_at(lo);
-  double cursor = lo;
-  while (cursor < hi && index < segments_.size()) {
-    const double segment_end = start_times_[index] + segments_[index].duration_s;
-    const double slice_end = std::min(segment_end, hi);
-    integral += segments_[index].rgb * (slice_end - cursor);
-    cursor = slice_end;
-    ++index;
-  }
-  return integral / window;
+  return (integral_to(hi) - integral_to(lo)) / window;
 }
 
 }  // namespace colorbars::led

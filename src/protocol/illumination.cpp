@@ -11,12 +11,14 @@ IlluminationSchedule::IlluminationSchedule(double data_ratio) : data_ratio_(data
   }
 }
 
-bool IlluminationSchedule::is_white_slot(int slot_index) const noexcept {
+bool IlluminationSchedule::is_white_slot(long long slot_index) const noexcept {
   // Slot s carries data iff the cumulative data count increases at s:
   // floor((s+1) * phi) > floor(s * phi). This is the Bresenham spread —
   // data and white slots are both distributed as evenly as possible.
-  const auto data_before = static_cast<long long>(std::floor(slot_index * data_ratio_));
-  const auto data_after = static_cast<long long>(std::floor((slot_index + 1) * data_ratio_));
+  const auto data_before = static_cast<long long>(
+      std::floor(static_cast<double>(slot_index) * data_ratio_));
+  const auto data_after = static_cast<long long>(
+      std::floor(static_cast<double>(slot_index + 1) * data_ratio_));
   return data_after == data_before;
 }
 
@@ -55,7 +57,7 @@ std::vector<ChannelSymbol> IlluminationSchedule::strip_white(
   std::vector<ChannelSymbol> out;
   out.reserve(payload_slots.size());
   for (std::size_t slot = 0; slot < payload_slots.size(); ++slot) {
-    if (!is_white_slot(static_cast<int>(slot))) out.push_back(payload_slots[slot]);
+    if (!is_white_slot(static_cast<long long>(slot))) out.push_back(payload_slots[slot]);
   }
   return out;
 }

@@ -1,0 +1,172 @@
+#include "colorbars/runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace colorbars::runtime {
+
+namespace {
+
+// Set while a thread is executing chunks of some region; nested
+// parallel_for calls from such a thread run inline.
+thread_local bool tls_in_parallel_region = false;
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("COLORBARS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+struct Region {
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::int64_t end = 0;
+  std::int64_t chunk = 1;
+  std::atomic<int> active_workers{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void run_chunks() {
+    tls_in_parallel_region = true;
+    for (;;) {
+      const std::int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::int64_t hi = lo + chunk < end ? lo + chunk : end;
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        // Drain the remaining range so other participants stop quickly.
+        next.store(end, std::memory_order_relaxed);
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  unsigned contexts = 1;
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  Region* region = nullptr;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      Region* claimed = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] {
+          return stopping || (region != nullptr && generation != seen_generation);
+        });
+        if (stopping) return;
+        seen_generation = generation;
+        claimed = region;
+        claimed->active_workers.fetch_add(1, std::memory_order_relaxed);
+      }
+      claimed->run_chunks();
+      if (claimed->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+  impl_->contexts = threads > 0 ? threads : default_thread_count();
+  // The caller of parallel_for is one context; spawn the rest.
+  for (unsigned i = 1; i < impl_->contexts; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+unsigned ThreadPool::thread_count() const noexcept { return impl_->contexts; }
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (chunk <= 0) chunk = 1;
+  if (impl_->workers.empty() || end - begin <= chunk || tls_in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+
+  Region region;
+  region.body = &body;
+  region.next.store(begin, std::memory_order_relaxed);
+  region.end = end;
+  region.chunk = chunk;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->region = &region;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  region.run_chunks();
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return region.active_workers.load(std::memory_order_acquire) == 0 &&
+             region.next.load(std::memory_order_relaxed) >= end;
+    });
+    impl_->region = nullptr;
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+namespace {
+
+std::mutex shared_pool_mutex;
+
+std::unique_ptr<ThreadPool>& shared_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  std::lock_guard<std::mutex> lock(shared_pool_mutex);
+  auto& slot = shared_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_shared_thread_count(unsigned threads) {
+  std::lock_guard<std::mutex> lock(shared_pool_mutex);
+  shared_pool_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  ThreadPool::shared().parallel_for(begin, end, chunk, body);
+}
+
+}  // namespace colorbars::runtime

@@ -2,30 +2,38 @@
 
 #include <cmath>
 
+#include "colorbars/color/lut.hpp"
 #include "colorbars/color/srgb.hpp"
+#include "colorbars/runtime/thread_pool.hpp"
 
 namespace colorbars::rx {
 
 std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
   std::vector<ScanlineColor> scanlines(static_cast<std::size_t>(frame.rows));
-  for (int r = 0; r < frame.rows; ++r) {
-    double sum_l = 0.0;
-    double sum_a = 0.0;
-    double sum_b = 0.0;
-    util::Vec3 sum_rgb;
-    for (int c = 0; c < frame.columns; ++c) {
-      const util::Vec3 encoded = color::from_rgb8(frame.at(r, c));
-      const color::XYZ xyz = color::linear_srgb_to_xyz(color::srgb_decode(encoded));
-      const color::Lab lab = color::xyz_to_lab(xyz);
-      sum_l += lab.L;
-      sum_a += lab.a;
-      sum_b += lab.b;
-      sum_rgb += encoded;
+  // Per-pixel Rgb8 -> Lab goes through the table-driven fast path (exact
+  // 256-entry decode, interpolated CIE f) — the std::pow/cbrt chain was
+  // the hottest receiver cost. Rows are independent, so they fan out
+  // over the runtime pool; output is per-row, hence deterministic at
+  // any thread count.
+  runtime::parallel_for(0, frame.rows, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      double sum_l = 0.0;
+      double sum_a = 0.0;
+      double sum_b = 0.0;
+      util::Vec3 sum_rgb;
+      for (int c = 0; c < frame.columns; ++c) {
+        const color::Rgb8& pixel = frame.at(static_cast<int>(r), c);
+        const color::Lab lab = color::rgb8_to_lab_fast(pixel);
+        sum_l += lab.L;
+        sum_a += lab.a;
+        sum_b += lab.b;
+        sum_rgb += color::from_rgb8(pixel);
+      }
+      const double inv = 1.0 / frame.columns;
+      scanlines[static_cast<std::size_t>(r)] = {{sum_a * inv, sum_b * inv}, sum_l * inv,
+                                                sum_rgb * inv};
     }
-    const double inv = 1.0 / frame.columns;
-    scanlines[static_cast<std::size_t>(r)] = {{sum_a * inv, sum_b * inv}, sum_l * inv,
-                                              sum_rgb * inv};
-  }
+  });
   return scanlines;
 }
 

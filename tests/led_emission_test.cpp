@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars::led {
@@ -116,6 +118,45 @@ TEST(EmissionTrace, AverageMatchesBruteForceIntegration) {
     EXPECT_NEAR(exact.x, brute.x, 0.02);
     EXPECT_NEAR(exact.y, brute.y, 0.02);
     EXPECT_NEAR(exact.z, brute.z, 0.02);
+  }
+}
+
+TEST(EmissionTrace, PrefixSumAverageMatchesReferenceWalk) {
+  // average() computes the window integral as a difference of prefix
+  // sums; this re-implements the original O(segments-in-window) walk
+  // and checks equivalence over random windows, including windows that
+  // spill past either end of the trace.
+  util::Xoshiro256 rng(91);
+  EmissionTrace trace;
+  for (int i = 0; i < 4000; ++i) {
+    trace.append(rng.uniform(1e-5, 5e-4), {rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  const auto& segments = trace.segments();
+  auto reference_walk = [&](double t0, double t1) -> Vec3 {
+    if (t1 <= t0 || segments.empty()) return {};
+    const double window = t1 - t0;
+    const double lo = std::max(t0, 0.0);
+    const double hi = std::min(t1, trace.duration());
+    if (hi <= lo) return {};
+    Vec3 integral;
+    double start = 0.0;
+    for (const EmissionSegment& segment : segments) {
+      const double end = start + segment.duration_s;
+      const double slice_lo = std::max(lo, start);
+      const double slice_hi = std::min(hi, end);
+      if (slice_hi > slice_lo) integral += segment.rgb * (slice_hi - slice_lo);
+      start = end;
+    }
+    return integral / window;
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const double t0 = rng.uniform(-0.05, trace.duration());
+    const double t1 = t0 + rng.uniform(1e-6, 0.2);
+    const Vec3 fast = trace.average(t0, t1);
+    const Vec3 reference = reference_walk(t0, t1);
+    ASSERT_NEAR(fast.x, reference.x, 1e-9) << "window [" << t0 << ", " << t1 << ")";
+    ASSERT_NEAR(fast.y, reference.y, 1e-9);
+    ASSERT_NEAR(fast.z, reference.z, 1e-9);
   }
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under sanitizers:
+#
+#   1. ASan + UBSan (-DCOLORBARS_SANITIZE=ON): the full suite.
+#   2. TSan (-DCOLORBARS_TSAN=ON): the thread-pool and determinism
+#      tests, which exercise every concurrent code path (parallel_for
+#      regions, shared-pool resizing, concurrent const reads of
+#      EmissionTrace prefix sums during frame synthesis).
+#
+# The two instrumentations are mutually exclusive, so each gets its own
+# build tree under build-asan/ and build-tsan/. Usage:
+#
+#   tools/run_sanitizers.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1" cmake_flag="$2" gtest_filter="$3"
+  echo "=== configure ${build_dir} (${cmake_flag}) ==="
+  cmake -B "${build_dir}" -S . "${cmake_flag}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "${jobs}" --target colorbars_tests
+  echo "=== run ${build_dir} (filter: ${gtest_filter}) ==="
+  "${build_dir}/tests/colorbars_tests" --gtest_filter="${gtest_filter}" \
+    --gtest_brief=1
+}
+
+# ASan+UBSan over everything; halt on the first UB report.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  run_suite build-asan -DCOLORBARS_SANITIZE=ON '*'
+
+# TSan over the concurrency surface. COLORBARS_THREADS is left unset so
+# the pool sizes from hardware_concurrency; the tests themselves also
+# spin up fixed 2/4/8-thread pools.
+TSAN_OPTIONS="halt_on_error=1" \
+  run_suite build-tsan -DCOLORBARS_TSAN=ON \
+  'ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*'
+
+echo "All sanitizer suites passed."
