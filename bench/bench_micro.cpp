@@ -16,6 +16,7 @@
 #include "colorbars/csk/mapper.hpp"
 #include "colorbars/led/emission.hpp"
 #include "colorbars/led/tri_led.hpp"
+#include "colorbars/pipeline/buffer_pool.hpp"
 #include "colorbars/protocol/symbols.hpp"
 #include "colorbars/rs/reed_solomon.hpp"
 #include "colorbars/rx/band_extractor.hpp"
@@ -189,6 +190,43 @@ void BM_CameraCaptureFrame(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CameraCaptureFrame);
+
+// Per-frame render cost through the streaming pipeline's pooled path
+// (Arg(1): buffers recycled through a BufferPool) versus fresh
+// allocations every frame (Arg(0)). The delta is what the pipeline's
+// buffer reuse saves per frame in steady state.
+void BM_PipelineFrame(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  util::Xoshiro256 rng(11);
+  std::vector<protocol::ChannelSymbol> symbols;
+  for (int i = 0; i < 200; ++i) {
+    symbols.push_back(protocol::ChannelSymbol::data(static_cast<int>(rng.below(8))));
+  }
+  const led::EmissionTrace trace =
+      led.emit(protocol::drives_of(symbols, constellation), 2000.0);
+  camera::RollingShutterCamera camera(camera::nexus5_profile(), {}, 12);
+  const camera::CapturePlan plan = camera.plan_capture(trace);
+  pipeline::BufferPool pool;
+  int index = 0;
+  for (auto _ : state) {
+    camera::Frame frame = pooled ? pool.acquire_frame() : camera::Frame{};
+    camera::RenderScratch scratch =
+        pooled ? pool.acquire_scratch() : camera::RenderScratch{};
+    camera.render_planned_frame(trace, plan, index % plan.frame_count(), frame,
+                                scratch);
+    benchmark::DoNotOptimize(frame.pixels.data());
+    if (pooled) {
+      pool.release_frame(std::move(frame));
+      pool.release_scratch(std::move(scratch));
+    }
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "pooled" : "fresh");
+}
+BENCHMARK(BM_PipelineFrame)->Arg(0)->Arg(1);
 
 }  // namespace
 

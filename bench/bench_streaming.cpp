@@ -17,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "colorbars/core/link.hpp"
+#include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/rx/streaming.hpp"
 #include "colorbars/tx/transmitter.hpp"
 #include "colorbars/util/rng.hpp"
@@ -60,30 +61,22 @@ int main(int argc, char** argv) {
   std::printf("capture: %.0f s, %zu packets, %.0f Hz, %.0f fps\n", duration_s,
               packet_count, link.symbol_rate_hz, link.profile.fps);
 
-  // Capture frame by frame (the frame-timing walk of capture_video,
-  // inlined so a minute of video never has to be held in memory).
+  // Capture through the streaming frame pipeline: a FrameSource renders
+  // the capture plan a bounded lookahead at a time into pooled buffers,
+  // so a minute of video never has to be held in memory.
   camera::RollingShutterCamera camera(link.profile, link.scene, 0x5eed);
   rx::StreamingReceiver streaming(link.receiver_config());
   const double period = link.profile.frame_period_s();
-  const double offset_max =
-      std::min(link.profile.frame_start_jitter_s, 0.8 * link.profile.gap_duration_s());
-  util::Xoshiro256 jitter_rng(0x717e);
-  double offset = offset_max > 0.0 ? jitter_rng.uniform(0.0, offset_max) : 0.0;
+  pipeline::BufferPool pool;
+  pipeline::FrameSource source(camera, transmission.trace, pool, {});
 
   // Interleaved calibration packets stretch the transmission slightly
   // past duration_s, so the per-second buckets grow on demand.
   std::vector<std::vector<double>> poll_s_by_second;
   std::size_t packets_reported = 0;
-  for (int index = 0;; ++index) {
-    const double nominal = index * period;
-    if (nominal >= transmission.trace.duration() - 1e-12) break;
-    const camera::Frame frame = camera.capture_frame(transmission.trace, nominal + offset,
-                                                     index);
-    if (offset_max > 0.0) {
-      offset += jitter_rng.uniform(-0.4, 0.4) * offset_max;
-      offset = std::clamp(offset, 0.0, offset_max);
-    }
-    streaming.push_frame(frame);
+  while (const camera::Frame* frame = source.next()) {
+    const double nominal = (source.frames_emitted() - 1) * period;
+    streaming.push_frame(*frame);
     const auto started = std::chrono::steady_clock::now();
     packets_reported += streaming.poll().size();
     const double elapsed =
@@ -93,6 +86,12 @@ int main(int argc, char** argv) {
     poll_s_by_second[second].push_back(elapsed);
   }
   packets_reported += streaming.finish().size();
+
+  pipeline::PipelineStats pipeline_stats;
+  pipeline_stats.frames_streamed = source.frames_emitted();
+  pipeline_stats.refills = source.refills();
+  pipeline_stats.pool = pool.stats();
+  streaming.note_pipeline_stats(pipeline_stats);
 
   const rx::StreamingStats& stats = streaming.stats();
   const double first_us = mean_us(poll_s_by_second.front());
@@ -117,6 +116,11 @@ int main(int argc, char** argv) {
               stats.peak_window_slots, streaming.holdback_slots(),
               streaming.tail_keep_slots());
   std::printf("total parse time     %.1f ms\n", 1e3 * stats.parse_time_s);
+  std::printf("pipeline refills     %lld (lookahead %d)\n", pipeline_stats.refills,
+              pipeline::SourceConfig{}.lookahead);
+  std::printf("pool frame reuse     %lld hits / %lld misses\n", stats.pool_frame_hits,
+              stats.pool_frame_misses);
+  std::printf("peak resident frames %lld\n", stats.peak_resident_frames);
   std::printf("mean poll, first 1 s %8.2f us\n", first_us);
   std::printf("mean poll, last 1 s  %8.2f us\n", last_us);
   const double ratio = first_us > 0.0 ? last_us / first_us : 0.0;
@@ -126,8 +130,12 @@ int main(int argc, char** argv) {
   const bool bounded =
       stats.peak_window_slots <
       3 * (streaming.holdback_slots() + streaming.tail_keep_slots());
-  std::printf("\n%s: per-poll cost %s, window %s\n",
-              flat && bounded ? "PASS" : "FAIL", flat ? "flat" : "GREW",
-              bounded ? "bounded" : "UNBOUNDED");
-  return flat && bounded ? 0 : 1;
+  // The pool never allocates more frames than one lookahead batch, no
+  // matter how long the capture runs.
+  const bool pooled =
+      stats.peak_resident_frames <= pipeline::SourceConfig{}.lookahead;
+  std::printf("\n%s: per-poll cost %s, window %s, frames %s\n",
+              flat && bounded && pooled ? "PASS" : "FAIL", flat ? "flat" : "GREW",
+              bounded ? "bounded" : "UNBOUNDED", pooled ? "pooled" : "UNPOOLED");
+  return flat && bounded && pooled ? 0 : 1;
 }

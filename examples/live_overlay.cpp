@@ -12,6 +12,7 @@
 
 #include "colorbars/camera/camera.hpp"
 #include "colorbars/core/link.hpp"
+#include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/rx/streaming.hpp"
 #include "colorbars/tx/transmitter.hpp"
 
@@ -31,16 +32,19 @@ int main() {
   const tx::Transmitter transmitter(link.transmitter_config());
   const tx::Transmission transmission = transmitter.transmit(payload);
 
-  // The phone: capture frames and feed them to the streaming receiver as
-  // they "arrive".
+  // The phone: frames stream out of the camera pipeline one lookahead
+  // batch at a time (never the whole video) and feed the streaming
+  // receiver as they "arrive".
   camera::RollingShutterCamera camera(link.profile, link.scene, 0x0ce4);
-  const auto frames = camera.capture_video(transmission.trace);
+  pipeline::BufferPool pool;
+  pipeline::FrameSource source(camera, transmission.trace, pool, {});
   rx::StreamingReceiver receiver(link.receiver_config());
 
   std::printf("LED broadcasts %zu bytes; phone decodes frame by frame:\n\n",
               payload.size());
   std::size_t shown = 0;
-  for (const camera::Frame& frame : frames) {
+  while (const camera::Frame* next = source.next()) {
+    const camera::Frame& frame = *next;
     receiver.push_frame(frame);
     const auto fresh = receiver.poll();
     int data_ok = 0;

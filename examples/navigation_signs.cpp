@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "colorbars/core/link.hpp"
+#include "colorbars/pipeline/pipeline.hpp"
+#include "colorbars/rx/streaming.hpp"
 
 using namespace colorbars;
 
@@ -33,9 +35,13 @@ Reception receive_with(const camera::SensorProfile& profile,
                        const tx::Transmission& transmission,
                        const rx::ReceiverConfig& rx_config, std::uint64_t seed) {
   camera::RollingShutterCamera camera(profile, {}, seed);
-  const std::vector<camera::Frame> frames = camera.capture_video(transmission.trace);
-  rx::Receiver receiver(rx_config);
-  const rx::ReceiverReport report = receiver.process(frames);
+  // Stream the capture through the frame pipeline (only a lookahead's
+  // worth of frames ever exists) into the streaming receiver sink.
+  pipeline::BufferPool pool;
+  pipeline::FrameSource source(camera, transmission.trace, pool, {});
+  rx::StreamingReceiver receiver(rx_config);
+  (void)pipeline::run_pipeline(source, {}, receiver);
+  const rx::ReceiverReport report = receiver.take_report();
   Reception reception;
   reception.device = profile.name;
   reception.packets_ok = report.data_packets_ok;

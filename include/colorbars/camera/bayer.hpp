@@ -31,4 +31,9 @@ enum class BayerChannel { kRed, kGreen, kBlue };
 /// `rows`/`columns` must match the mosaic's dimensions.
 [[nodiscard]] FloatImage demosaic(const std::vector<double>& raw, int rows, int columns);
 
+/// demosaic into a caller-provided image (resized in place), so pooled
+/// scratch buffers can be recycled across frames without reallocating.
+void demosaic_into(const std::vector<double>& raw, int rows, int columns,
+                   FloatImage& out);
+
 }  // namespace colorbars::camera

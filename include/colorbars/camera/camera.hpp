@@ -7,7 +7,9 @@
 // device's inter-frame gap — everything the ColorBars receiver has to
 // cope with (paper §2.1, §3.1, §6).
 
+#include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "colorbars/camera/image.hpp"
@@ -22,6 +24,15 @@ namespace colorbars::camera {
 struct ExposureSettings {
   double exposure_s = 1.0 / 1000.0;
   double iso = 100.0;
+
+  /// Throws unless both fields are positive: a non-positive exposure or
+  /// ISO silently produces degenerate (zero-gain) rows downstream.
+  void validate() const {
+    if (!(exposure_s > 0.0) || !(iso > 0.0)) {
+      throw std::invalid_argument(
+          "ExposureSettings: exposure_s and iso must be positive");
+    }
+  }
 };
 
 /// Scene description around the LED signal.
@@ -35,6 +46,31 @@ struct SceneConfig {
   double signal_scale = 1.0;
 };
 
+/// Reusable per-frame render scratch: the intermediate buffers one
+/// frame synthesis needs (per-row responses, the Bayer mosaic plane and
+/// the demosaiced float image). Recyclable across frames — every render
+/// resizes the buffers it uses — so a pipeline::BufferPool can hand the
+/// same scratch to thousands of frames without reallocating.
+struct RenderScratch {
+  std::vector<led::Vec3> row_response;
+  std::vector<double> raw;
+  FloatImage rgb;
+};
+
+/// The deterministic frame-timing plan of one video capture: the
+/// jittered readout start time of every frame plus the seed the
+/// per-frame RNG streams derive from. Consuming a plan frame-by-frame
+/// (pipeline::FrameSource) is byte-identical to capture_video because
+/// both draw the member-RNG walk in exactly this order.
+struct CapturePlan {
+  std::vector<double> start_times;
+  std::uint64_t stream_seed = 0;
+
+  [[nodiscard]] int frame_count() const noexcept {
+    return static_cast<int>(start_times.size());
+  }
+};
+
 /// Rolling-shutter camera instance. Deterministic given its seed.
 class RollingShutterCamera {
  public:
@@ -44,8 +80,10 @@ class RollingShutterCamera {
   [[nodiscard]] const SensorProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] const SceneConfig& scene() const noexcept { return scene_; }
 
-  /// Fixes exposure/ISO manually (disables auto exposure).
-  void set_manual_exposure(const ExposureSettings& settings) noexcept {
+  /// Fixes exposure/ISO manually (disables auto exposure). Throws on
+  /// non-positive exposure or ISO (see ExposureSettings::validate).
+  void set_manual_exposure(const ExposureSettings& settings) {
+    settings.validate();
     manual_exposure_ = settings;
   }
   /// Re-enables auto exposure.
@@ -66,8 +104,36 @@ class RollingShutterCamera {
   /// runtime pool; each frame's AE-hunt and noise randomness comes from
   /// a counter-derived per-frame stream, so the captured video is
   /// byte-identical at every thread count.
+  ///
+  /// Materializes the whole capture — O(duration) frames resident. Long
+  /// or memory-bounded runs should consume a CapturePlan through
+  /// pipeline::FrameSource instead, which renders the identical frames
+  /// O(lookahead) at a time.
   [[nodiscard]] std::vector<Frame> capture_video(const led::EmissionTrace& trace,
                                                  double start_offset_s = 0.0);
+
+  /// Computes the frame-timing walk of a capture (start times + derived
+  /// per-frame RNG stream seed) without rendering anything. Advances the
+  /// member RNG exactly as capture_video does, so rendering the plan's
+  /// frames — in any order, on any thread count — reproduces
+  /// capture_video byte for byte.
+  [[nodiscard]] CapturePlan plan_capture(const led::EmissionTrace& trace,
+                                         double start_offset_s = 0.0);
+
+  /// Renders frame `frame_index` of `plan` into the caller-provided
+  /// frame and scratch buffers (both resized in place, so pooled buffers
+  /// recycle their allocations). Pure function of (plan, frame_index):
+  /// the frame's randomness comes from a stream derived from
+  /// plan.stream_seed and the index.
+  void render_planned_frame(const led::EmissionTrace& trace, const CapturePlan& plan,
+                            int frame_index, Frame& out, RenderScratch& scratch) const;
+
+  /// Renders one frame whose first scanline reads out at `start_time_s`,
+  /// drawing randomness from `rng`, into caller-provided buffers. The
+  /// re-entrant core every capture path shares.
+  void render_frame_into(const led::EmissionTrace& trace, double start_time_s,
+                         int frame_index, util::Xoshiro256& rng, Frame& out,
+                         RenderScratch& scratch) const;
 
   /// Vignetting gain at a pixel (1 at center, 1 - strength at corners,
   /// clamped at 0 so an extreme profile cannot produce negative charge).
@@ -77,12 +143,6 @@ class RollingShutterCamera {
   /// Linear sensor RGB for one scanline's exposure window, before noise.
   [[nodiscard]] led::Vec3 expose_row(const led::EmissionTrace& trace, double read_time_s,
                                      const ExposureSettings& settings) const noexcept;
-
-  /// Synthesizes one frame drawing all randomness from `rng` — the
-  /// re-entrant core shared by capture_frame (member RNG) and the
-  /// parallel capture_video (per-frame derived streams).
-  [[nodiscard]] Frame render_frame(const led::EmissionTrace& trace, double start_time_s,
-                                   int frame_index, util::Xoshiro256& rng) const;
 
   SensorProfile profile_;
   SceneConfig scene_;

@@ -2,7 +2,9 @@
 
 // Frame containers produced by the simulated camera. The ISP output is
 // an 8-bit sRGB image like a phone video frame; intermediate stages use
-// a planar float image.
+// a planar float image. Both containers support resize-in-place so
+// pooled buffers (pipeline::BufferPool) can be recycled across frames
+// without reallocating.
 
 #include <cstddef>
 #include <stdexcept>
@@ -13,16 +15,33 @@
 
 namespace colorbars::camera {
 
+/// Validates image dimensions shared by every frame-shaped container
+/// (FloatImage, Frame, raw mosaic planes): both must be positive.
+[[nodiscard]] inline std::size_t checked_image_size(int rows, int columns) {
+  if (rows <= 0 || columns <= 0) {
+    throw std::invalid_argument("image dimensions must be positive");
+  }
+  return static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns);
+}
+
 /// A row-major image of linear float RGB triples (sensor-internal).
 class FloatImage {
  public:
   FloatImage() = default;
   FloatImage(int rows, int columns)
       : rows_(rows), columns_(columns),
-        pixels_(checked_size(rows, columns)) {}
+        pixels_(checked_image_size(rows, columns)) {}
 
   [[nodiscard]] int rows() const noexcept { return rows_; }
   [[nodiscard]] int columns() const noexcept { return columns_; }
+
+  /// Re-shapes the image, reusing the existing allocation when the new
+  /// pixel count fits its capacity. Pixel contents are unspecified.
+  void resize(int rows, int columns) {
+    pixels_.resize(checked_image_size(rows, columns));
+    rows_ = rows;
+    columns_ = columns;
+  }
 
   [[nodiscard]] util::Vec3& at(int row, int column) {
     return pixels_[index(row, column)];
@@ -32,12 +51,6 @@ class FloatImage {
   }
 
  private:
-  [[nodiscard]] static std::size_t checked_size(int rows, int columns) {
-    if (rows <= 0 || columns <= 0) {
-      throw std::invalid_argument("FloatImage: dimensions must be positive");
-    }
-    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns);
-  }
   [[nodiscard]] std::size_t index(int row, int column) const {
     if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
       throw std::out_of_range("FloatImage: pixel index out of range");
@@ -68,6 +81,15 @@ struct Frame {
   double iso = 100.0;
   /// Frame sequence number.
   int frame_index = 0;
+
+  /// Re-shapes the pixel buffer with the same validation as FloatImage,
+  /// reusing the existing allocation when possible. Pixel contents are
+  /// unspecified; metadata fields are untouched.
+  void resize(int new_rows, int new_columns) {
+    pixels.resize(checked_image_size(new_rows, new_columns));
+    rows = new_rows;
+    columns = new_columns;
+  }
 
   [[nodiscard]] const color::Rgb8& at(int row, int column) const {
     return pixels[static_cast<std::size_t>(row) * static_cast<std::size_t>(columns) +

@@ -39,6 +39,9 @@
 #include "colorbars/camera/camera.hpp"   // rolling-shutter simulator
 #include "colorbars/camera/ppm.hpp"      // frame export
 
+#include "colorbars/pipeline/buffer_pool.hpp"  // recycled frame/scratch buffers
+#include "colorbars/pipeline/pipeline.hpp"     // streaming source/stage/sink
+
 #include "colorbars/rx/band_extractor.hpp"     // frame -> slot observations
 #include "colorbars/rx/calibration_store.hpp"  // references + classifier
 #include "colorbars/rx/receiver.hpp"           // batch receiver

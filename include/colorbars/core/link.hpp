@@ -36,6 +36,11 @@ struct LinkConfig {
   /// Ablation knobs (see TransmitterConfig / ReceiverConfig).
   bool enable_dephasing_pad = true;
   bool use_erasure_decoding = true;
+  /// Frames the streaming capture pipeline prefetches per refill — the
+  /// peak number of frames resident during a run (pipeline::SourceConfig
+  /// lookahead). Purely a memory/parallelism knob: results are
+  /// byte-identical at every value.
+  int pipeline_lookahead = 8;
   std::uint64_t seed = 0xc01055eedULL;
 
   /// RS code for this link, derived from the profile's loss ratio per
@@ -157,7 +162,10 @@ class LinkSimulator {
 
   /// Measures the raw symbol error rate over `symbol_count` random data
   /// symbols (after a calibration preamble), as in Fig. 9. Only observed
-  /// slots count — lost slots feed the loss ratio, not the SER.
+  /// slots count — lost slots feed the loss ratio, not the SER. The
+  /// calibration preamble and the data symbols ride one concatenated
+  /// emission trace through a single streamed capture, as on a real
+  /// device (the camera never stops between "calibrate" and "measure").
   [[nodiscard]] SerResult run_ser(int symbol_count);
 
   /// Measures raw throughput over `duration_s` of random data symbols

@@ -1,0 +1,129 @@
+#pragma once
+
+// The streaming tx→camera→rx frame pipeline: a FrameSource renders
+// camera frames a bounded lookahead at a time into pooled buffers,
+// chainable FrameStages apply channel impairments (identity today; the
+// seam frame-drop / exposure-jitter robustness hooks plug into), and a
+// FrameSink consumes each frame as it would arrive from a real camera
+// callback (rx::StreamingReceiver is the canonical sink).
+//
+// Memory contract: at most `lookahead` frames plus the in-flight render
+// scratch are resident at any instant, independent of capture duration
+// — a 60 s capture holds the same live buffers as a 5 s one.
+//
+// Determinism contract: the source consumes the camera's CapturePlan
+// (the same member-RNG walk capture_video performs) and renders each
+// frame from a counter-derived RNG stream, so the streamed frame
+// sequence is byte-identical to the materialized capture_video at every
+// thread count and every lookahead.
+
+#include <span>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/led/emission.hpp"
+#include "colorbars/pipeline/buffer_pool.hpp"
+
+namespace colorbars::pipeline {
+
+/// FrameSource prefetch tuning.
+struct SourceConfig {
+  /// Frames rendered per prefetch refill — the pipeline's peak resident
+  /// frame count. Refills fan out over the shared runtime pool.
+  int lookahead = 8;
+  /// Capture start offset into the trace (same meaning as
+  /// capture_video's start_offset_s).
+  double start_offset_s = 0.0;
+};
+
+/// A channel-impairment hook between camera and receiver. Stages may
+/// mutate the frame in place (exposure jitter, pixel corruption) or
+/// drop it entirely (return false) — a dropped frame never reaches the
+/// sink, like a frame the phone's camera pipeline skipped.
+class FrameStage {
+ public:
+  virtual ~FrameStage() = default;
+  /// Returns false to drop the frame.
+  virtual bool process(camera::Frame& frame) = 0;
+};
+
+/// A stage that passes every frame through untouched.
+class IdentityStage final : public FrameStage {
+ public:
+  bool process(camera::Frame&) override { return true; }
+};
+
+/// Consumes the pipeline's frames in capture order.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void consume(const camera::Frame& frame) = 0;
+  /// Called once after the last frame (flush point for windowed sinks).
+  virtual void on_stream_end() {}
+};
+
+/// Pulls frames from a RollingShutterCamera + EmissionTrace through a
+/// bounded-lookahead prefetch ring of pooled buffers. The camera's
+/// member RNG advances exactly once, at construction (plan_capture), so
+/// interleaving other camera use during iteration is not supported.
+class FrameSource {
+ public:
+  /// `camera`, `trace` and `pool` must outlive the source. Construction
+  /// consumes the camera's timing walk; next() then renders on demand.
+  FrameSource(camera::RollingShutterCamera& camera, const led::EmissionTrace& trace,
+              BufferPool& pool, SourceConfig config = {});
+  /// A temporary trace would dangle after this full-expression.
+  FrameSource(camera::RollingShutterCamera&, led::EmissionTrace&&, BufferPool&,
+              SourceConfig = {}) = delete;
+  ~FrameSource();
+
+  FrameSource(const FrameSource&) = delete;
+  FrameSource& operator=(const FrameSource&) = delete;
+
+  /// The next frame in capture order, or nullptr at end of stream. The
+  /// pointer (and the frame behind it) stays valid until the next call;
+  /// the buffer is recycled automatically afterwards.
+  [[nodiscard]] camera::Frame* next();
+
+  /// Total frames the capture plan spans.
+  [[nodiscard]] int total_frames() const noexcept { return plan_.frame_count(); }
+  /// Frames served so far.
+  [[nodiscard]] int frames_emitted() const noexcept { return next_serve_; }
+  /// Prefetch refills performed so far.
+  [[nodiscard]] long long refills() const noexcept { return refills_; }
+
+  [[nodiscard]] const BufferPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const camera::CapturePlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Releases the served ring back to the pool and renders the next
+  /// lookahead-sized batch in parallel.
+  void refill();
+
+  camera::RollingShutterCamera& camera_;
+  const led::EmissionTrace& trace_;
+  BufferPool& pool_;
+  SourceConfig config_;
+  camera::CapturePlan plan_;
+  /// Prefetch ring: pooled frames holding plan indices
+  /// [ring_base_, ring_base_ + ring_.size()).
+  std::vector<camera::Frame> ring_;
+  int ring_base_ = 0;
+  int next_serve_ = 0;
+  long long refills_ = 0;
+};
+
+/// End-of-run pipeline counters.
+struct PipelineStats {
+  long long frames_streamed = 0;  ///< frames delivered to the sink
+  long long frames_dropped = 0;   ///< frames a stage rejected
+  long long refills = 0;          ///< prefetch batches rendered
+  BufferPoolStats pool;           ///< pool counters incl. peak residency
+};
+
+/// Drives the pipeline to completion: pulls every frame from `source`,
+/// runs it through `stages` in order, hands survivors to `sink`, then
+/// signals end of stream. Returns the run's counters.
+PipelineStats run_pipeline(FrameSource& source, std::span<FrameStage* const> stages,
+                           FrameSink& sink);
+
+}  // namespace colorbars::pipeline

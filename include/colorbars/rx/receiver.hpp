@@ -87,6 +87,15 @@ struct ReceiverReport {
   int data_packets_failed = 0;
 };
 
+/// Assembles a dense slot timeline from observations in arrival order:
+/// base_slot is the earliest slot seen, span covers earliest→latest, and
+/// the first observation of a slot wins (duplicate coverage only happens
+/// at frame boundaries, where the earlier frame saw the fuller band).
+/// This is the batch Receiver::collect back end, exposed so streaming
+/// consumers that gather observations frame by frame build the exact
+/// same timeline.
+[[nodiscard]] SlotTimeline assemble_timeline(std::span<const SlotObservation> observations);
+
 class Receiver {
  public:
   explicit Receiver(ReceiverConfig config);
@@ -112,20 +121,48 @@ class Receiver {
   ///
   /// With `final_flush` false the scan assumes slots past the timeline
   /// head may still arrive: it stops before `limit_position` (callers
-  /// must keep `limit_position` at least scan_lookahead_slots() behind
-  /// the head so every "no packet starts here" conclusion is final), and
+  /// must keep `limit_position` at least max_decision_span_slots()
+  /// behind the last *final* slot so every conclusion — "no packet
+  /// starts here" as well as every classified color — is final), and
   /// defers any matched packet whose body extends past the head instead
   /// of reporting it truncated. With `final_flush` true it runs to the
   /// end with offline semantics (truncated packets are reported) and
   /// returns `timeline.slots.size()`.
+  ///
+  /// `cold_start_prescan` controls the offline cold-start behavior of
+  /// scanning ahead for calibration packets before the sequential parse
+  /// (see prescan_calibration). Incremental callers that manage the
+  /// pre-scan themselves with a persistent cursor pass false, otherwise
+  /// repeated calls would re-absorb the same partials in a different
+  /// blend order than the offline pass.
   std::size_t parse_from(const SlotTimeline& timeline, std::size_t start_position,
                          std::size_t limit_position, ReceiverReport& report,
-                         bool final_flush = false);
+                         bool final_flush = false, bool cold_start_prescan = true);
+
+  /// Cold-start calibration pre-scan: scans `[from, limit)` for
+  /// calibration packets and absorbs each matching partial once, in
+  /// order, stopping as soon as the store is fully calibrated. This is
+  /// what lets data packets that *precede* the first intact calibration
+  /// packet still be demodulated (the capture is decoded offline, as the
+  /// paper does for its iPhone receiver). Returns the next position a
+  /// resumed pre-scan must continue from; incremental callers thread
+  /// that cursor through so the absorption sequence is byte-identical to
+  /// one offline pass over the full capture.
+  std::size_t prescan_calibration(const SlotTimeline& timeline, std::size_t from,
+                                  std::size_t limit);
 
   /// Slots a scan decision at one position may probe beyond it (the
   /// longest start-of-packet prefix plus the extension guard). The
   /// incremental-parse limit must stay this far behind the stream head.
   [[nodiscard]] std::size_t scan_lookahead_slots() const noexcept;
+
+  /// Worst-case slots a parse decision at one position may read beyond
+  /// it before committing a record: a full data packet (prefix + size
+  /// field + payload slots) or a full calibration packet, plus the
+  /// extension guard. Incremental callers must keep their parse limit
+  /// this far behind the last final slot so a committed record never
+  /// reads a cell a later frame could still fill in.
+  [[nodiscard]] std::size_t max_decision_span_slots() const noexcept;
 
   /// Classifies a single observation against the current calibration,
   /// restricted to data symbols (used for size fields and payload slots,
@@ -135,6 +172,24 @@ class Receiver {
  private:
   /// Observation state of one timeline slot.
   enum class SlotState { kMissing, kOff, kLit };
+
+  /// Calibration flag variants. Color slot j of a packet carries
+  /// constellation index permute(j).
+  enum class CalibrationVariant { kRotated, kReversed, kForward };
+  struct CalibrationMatch {
+    CalibrationVariant variant;
+    const std::vector<protocol::ChannelSymbol>* prefix;
+  };
+
+  /// Finds a calibration-variant match at `position`, longest pattern
+  /// first (each shorter prefix is a strict prefix of the longer ones;
+  /// the extension guard disambiguates gap truncation).
+  [[nodiscard]] std::optional<CalibrationMatch> match_calibration(
+      const SlotTimeline& timeline, std::size_t position) const;
+
+  /// Reorders raw color slots into constellation order for the variant.
+  void permute_calibration_colors(std::vector<std::optional<ReferenceColor>>& colors,
+                                  CalibrationVariant variant) const;
 
   [[nodiscard]] SlotState slot_state(const SlotTimeline& timeline,
                                      std::size_t position) const;

@@ -6,6 +6,9 @@
 // packets (§8, "Experiment Setup"). StreamingReceiver provides that
 // consumption model on top of the batch Receiver: push frames as the
 // camera delivers them, poll for packets that have become decodable.
+// It is also the canonical pipeline::FrameSink — wire it behind a
+// pipeline::FrameSource to stream a whole capture with O(lookahead)
+// frames resident.
 //
 // The decode path is incremental and bounded: observations live in a
 // sliding SlotTimeline window, each poll() resumes the parse where the
@@ -14,11 +17,23 @@
 // them. Work per poll() and retained memory are therefore proportional
 // to the window, not to the capture length.
 //
+// Cold start is the one exception to the bounded window: until the
+// calibration store completes, drains only run the resumable
+// calibration pre-scan (each position examined once, in stream order —
+// the exact absorption sequence of the offline pre-scan) and no slot is
+// parsed or evicted. Decoding a data packet before the references are
+// complete would classify it against a different store state than the
+// offline pass, breaking byte-identity. Calibration normally completes
+// within the first frame or two; a capture whose calibration never
+// completes degenerates to the offline memory profile, exactly as the
+// batch receiver would.
+//
 // Packets are reported exactly once, in slot order. Because a packet can
 // span the inter-frame gap into the *next* frame, a packet is only
 // finalized once the timeline extends at least one whole frame period
 // beyond it; call finish() at end of capture to flush the tail.
 
+#include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/rx/receiver.hpp"
 
 namespace colorbars::rx {
@@ -47,9 +62,14 @@ struct StreamingStats {
   double parse_time_s = 0.0;         ///< cumulative wall time inside drains
   long long last_drain_slots_scanned = 0;
   double last_drain_time_s = 0.0;
+  // Pipeline-side counters, populated by note_pipeline_stats when the
+  // receiver consumes a pipeline::FrameSource run (zero otherwise).
+  long long pool_frame_hits = 0;       ///< pooled frame buffers recycled
+  long long pool_frame_misses = 0;     ///< frame buffers freshly allocated
+  long long peak_resident_frames = 0;  ///< high-water mark of live frames
 };
 
-class StreamingReceiver {
+class StreamingReceiver : public pipeline::FrameSink {
  public:
   explicit StreamingReceiver(ReceiverConfig config, StreamingConfig stream = {});
 
@@ -68,9 +88,24 @@ class StreamingReceiver {
   /// that poll() was still holding back. Call once, at end of stream.
   [[nodiscard]] std::vector<PacketRecord> finish();
 
+  // pipeline::FrameSink: consume() ingests and drains in one step (the
+  // reported packets accumulate in report()); on_stream_end() flushes.
+  void consume(const camera::Frame& frame) override;
+  void on_stream_end() override;
+
+  /// Everything decoded so far, in the same shape the batch
+  /// Receiver::process returns: packet records, concatenated payload and
+  /// aggregate counters. slots_scanned counts incremental work and may
+  /// exceed the batch value (deferred head positions re-scan); all other
+  /// fields match the offline parse byte for byte.
+  [[nodiscard]] const ReceiverReport& report() const noexcept { return report_; }
+
+  /// Moves the accumulated report out (the receiver is then spent).
+  [[nodiscard]] ReceiverReport take_report() { return std::move(report_); }
+
   /// Concatenated payloads of every OK data packet reported so far.
   [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept {
-    return payload_;
+    return report_.payload;
   }
 
   /// Total frames ingested.
@@ -78,6 +113,9 @@ class StreamingReceiver {
 
   /// Decode-side counters (window size, eviction, per-drain cost).
   [[nodiscard]] const StreamingStats& stats() const noexcept { return stats_; }
+
+  /// Copies a pipeline run's pool/residency counters into stats().
+  void note_pipeline_stats(const pipeline::PipelineStats& pipeline) noexcept;
 
   /// Effective head holdback in slots (configured, or one frame period
   /// derived from symbol_rate_hz / frame_rate_hz plus a guard).
@@ -89,11 +127,21 @@ class StreamingReceiver {
  private:
   /// Parses the retained window from the resume point and evicts slots
   /// the parse can never revisit. `final_flush` applies end-of-stream
-  /// semantics (truncated tails reported, no head holdback).
-  [[nodiscard]] std::vector<PacketRecord> drain(bool final_flush);
+  /// semantics (truncated tails reported, no head holdback). Appends to
+  /// report_ and returns the index of the first record this drain added.
+  std::size_t drain(bool final_flush);
 
   /// One frame period expressed in symbol slots.
   [[nodiscard]] long long frame_period_slots() const noexcept;
+
+  /// Slots a non-final drain must leave untouched behind the head: a
+  /// slot only stops changing once a whole frame period has passed it
+  /// (a later frame can fill a cell the gap left missing), and a
+  /// decision at one position reads up to a full packet beyond it.
+  [[nodiscard]] std::size_t head_margin_slots() const noexcept;
+
+  /// Records per-drain stats bookkeeping shared by every drain path.
+  void note_drain(double elapsed_s, long long scanned_before) noexcept;
 
   Receiver receiver_;
   StreamingConfig stream_config_;
@@ -103,9 +151,16 @@ class StreamingReceiver {
   bool window_valid_ = false;
   /// Index into window_.slots the next parse resumes from.
   std::size_t resume_position_ = 0;
+  /// Cold-start pre-scan cursor: the next window position the resumable
+  /// calibration pre-scan examines. Stable across drains because no
+  /// eviction happens while the store is uncalibrated; unused once the
+  /// store completes.
+  std::size_t prescan_position_ = 0;
+  long long first_slot_ = 0;
   long long latest_slot_ = -1;
+  long long observed_cells_ = 0;
   int frames_ingested_ = 0;
-  std::vector<std::uint8_t> payload_;
+  ReceiverReport report_;
   StreamingStats stats_;
 };
 

@@ -80,10 +80,18 @@ util::Vec3 demosaic_pixel(const std::vector<double>& raw, int rows, int columns,
 }  // namespace
 
 FloatImage demosaic(const std::vector<double>& raw, int rows, int columns) {
+  FloatImage rgb;
+  demosaic_into(raw, rows, columns, rgb);
+  return rgb;
+}
+
+void demosaic_into(const std::vector<double>& raw, int rows, int columns,
+                   FloatImage& out) {
   if (raw.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(columns)) {
     throw std::invalid_argument("demosaic: raw size does not match dimensions");
   }
-  FloatImage rgb(rows, columns);
+  out.resize(rows, columns);
+  FloatImage& rgb = out;
 
   // Interior fast path: away from the border every RGGB phase has a
   // fixed in-bounds neighbor set, so the per-neighbor bounds and channel
@@ -144,7 +152,6 @@ FloatImage demosaic(const std::vector<double>& raw, int rows, int columns) {
     rgb.at(r, 0) = demosaic_pixel(raw, rows, columns, r, 0);
     if (columns > 1) rgb.at(r, columns - 1) = demosaic_pixel(raw, rows, columns, r, columns - 1);
   }
-  return rgb;
 }
 
 }  // namespace colorbars::camera

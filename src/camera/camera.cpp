@@ -86,12 +86,16 @@ Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double re
 
 Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
                                           double start_time_s, int frame_index) {
-  return render_frame(trace, start_time_s, frame_index, rng_);
+  Frame frame;
+  RenderScratch scratch;
+  render_frame_into(trace, start_time_s, frame_index, rng_, frame, scratch);
+  return frame;
 }
 
-Frame RollingShutterCamera::render_frame(const led::EmissionTrace& trace,
-                                         double start_time_s, int frame_index,
-                                         util::Xoshiro256& rng) const {
+void RollingShutterCamera::render_frame_into(const led::EmissionTrace& trace,
+                                             double start_time_s, int frame_index,
+                                             util::Xoshiro256& rng, Frame& out,
+                                             RenderScratch& scratch) const {
   ExposureSettings settings;
   if (manual_exposure_.has_value()) {
     settings = *manual_exposure_;
@@ -111,15 +115,16 @@ Frame RollingShutterCamera::render_frame(const led::EmissionTrace& trace,
 
   // Per-row scene response (identical across columns before vignetting
   // and noise, since the close-range LED floods the field of view).
-  std::vector<Vec3> row_response(static_cast<std::size_t>(profile_.rows));
+  std::vector<Vec3>& row_response = scratch.row_response;
+  row_response.resize(static_cast<std::size_t>(profile_.rows));
   for (int r = 0; r < profile_.rows; ++r) {
     const double read_time = start_time_s + (r + 1) * row_time;
     row_response[static_cast<std::size_t>(r)] = expose_row(trace, read_time, settings);
   }
 
   // Mosaic sampling with photon shot noise and read noise per site.
-  std::vector<double> raw(static_cast<std::size_t>(profile_.rows) *
-                          static_cast<std::size_t>(profile_.columns));
+  std::vector<double>& raw = scratch.raw;
+  raw.resize(checked_image_size(profile_.rows, profile_.columns));
   const double read_sigma = profile_.read_noise * iso_gain;
   for (int r = 0; r < profile_.rows; ++r) {
     const Vec3& response = row_response[static_cast<std::size_t>(r)];
@@ -140,29 +145,25 @@ Frame RollingShutterCamera::render_frame(const led::EmissionTrace& trace,
     }
   }
 
-  const FloatImage rgb = demosaic(raw, profile_.rows, profile_.columns);
+  demosaic_into(raw, profile_.rows, profile_.columns, scratch.rgb);
+  const FloatImage& rgb = scratch.rgb;
 
-  Frame frame;
-  frame.rows = profile_.rows;
-  frame.columns = profile_.columns;
-  frame.pixels.resize(static_cast<std::size_t>(profile_.rows) *
-                      static_cast<std::size_t>(profile_.columns));
-  frame.start_time_s = start_time_s;
-  frame.row_time_s = row_time;
-  frame.exposure_s = settings.exposure_s;
-  frame.iso = settings.iso;
-  frame.frame_index = frame_index;
+  out.resize(profile_.rows, profile_.columns);
+  out.start_time_s = start_time_s;
+  out.row_time_s = row_time;
+  out.exposure_s = settings.exposure_s;
+  out.iso = settings.iso;
+  out.frame_index = frame_index;
   for (int r = 0; r < profile_.rows; ++r) {
     for (int c = 0; c < profile_.columns; ++c) {
       // Bit-identical to to_rgb8(srgb_encode(...)) but pow-free.
-      frame.at(r, c) = color::quantize_srgb(rgb.at(r, c));
+      out.at(r, c) = color::quantize_srgb(rgb.at(r, c));
     }
   }
-  return frame;
 }
 
-std::vector<Frame> RollingShutterCamera::capture_video(const led::EmissionTrace& trace,
-                                                       double start_offset_s) {
+CapturePlan RollingShutterCamera::plan_capture(const led::EmissionTrace& trace,
+                                               double start_offset_s) {
   const double period = profile_.frame_period_s();
   // Frame timing wanders as a bounded random walk inside the gap
   // (auto-exposure hunting continuously reshuffles readout start on real
@@ -177,30 +178,44 @@ std::vector<Frame> RollingShutterCamera::capture_video(const led::EmissionTrace&
   const double offset_max =
       std::min(profile_.frame_start_jitter_s, 0.8 * profile_.gap_duration_s());
   double offset = offset_max > 0.0 ? rng_.uniform(0.0, offset_max) : 0.0;
-  std::vector<double> start_times;
+  CapturePlan plan;
   for (int index = 0;; ++index) {
     // Multiply rather than accumulate so rounding cannot create a
     // spurious extra frame at an exact trace boundary.
     const double nominal = start_offset_s + index * period;
     if (nominal >= trace.duration() - 1e-12) break;
-    start_times.push_back(nominal + offset);
+    plan.start_times.push_back(nominal + offset);
     if (offset_max > 0.0) {
       offset += rng_.uniform(-0.4, 0.4) * offset_max;
       offset = std::clamp(offset, 0.0, offset_max);
     }
   }
+  plan.stream_seed = rng_();
+  return plan;
+}
 
-  const std::uint64_t stream_seed = rng_();
-  std::vector<Frame> frames(start_times.size());
+void RollingShutterCamera::render_planned_frame(const led::EmissionTrace& trace,
+                                                const CapturePlan& plan, int frame_index,
+                                                Frame& out, RenderScratch& scratch) const {
+  util::Xoshiro256 frame_rng(runtime::derive_stream_seed(
+      plan.stream_seed, static_cast<std::uint64_t>(frame_index)));
+  render_frame_into(trace, plan.start_times[static_cast<std::size_t>(frame_index)],
+                    frame_index, frame_rng, out, scratch);
+}
+
+std::vector<Frame> RollingShutterCamera::capture_video(const led::EmissionTrace& trace,
+                                                       double start_offset_s) {
+  const CapturePlan plan = plan_capture(trace, start_offset_s);
+  std::vector<Frame> frames(plan.start_times.size());
   runtime::parallel_for(
-      0, static_cast<std::int64_t>(start_times.size()), 1,
+      0, static_cast<std::int64_t>(plan.start_times.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
+        // One scratch per claimed chunk: buffers recycle across the
+        // chunk's frames without crossing thread boundaries.
+        RenderScratch scratch;
         for (std::int64_t i = lo; i < hi; ++i) {
-          const auto index = static_cast<std::size_t>(i);
-          util::Xoshiro256 frame_rng(
-              runtime::derive_stream_seed(stream_seed, static_cast<std::uint64_t>(i)));
-          frames[index] = render_frame(trace, start_times[index],
-                                       static_cast<int>(i), frame_rng);
+          render_planned_frame(trace, plan, static_cast<int>(i),
+                               frames[static_cast<std::size_t>(i)], scratch);
         }
       });
   return frames;

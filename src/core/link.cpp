@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/rx/streaming.hpp"
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars::core {
@@ -91,6 +93,49 @@ rx::ReceiverConfig LinkConfig::receiver_config() const {
 LinkSimulator::LinkSimulator(LinkConfig config)
     : config_(std::move(config)), rng_(config_.seed) {}
 
+namespace {
+
+/// Streams one capture through the frame pipeline into `sink`: at most
+/// `lookahead` frames (plus in-flight render scratch) are resident,
+/// regardless of the trace duration.
+pipeline::PipelineStats stream_capture(camera::RollingShutterCamera& camera,
+                                       const led::EmissionTrace& trace,
+                                       double start_offset_s, int lookahead,
+                                       pipeline::FrameSink& sink) {
+  pipeline::BufferPool pool;
+  pipeline::SourceConfig source_config;
+  source_config.lookahead = lookahead;
+  source_config.start_offset_s = start_offset_s;
+  pipeline::FrameSource source(camera, trace, pool, source_config);
+  return pipeline::run_pipeline(source, {}, sink);
+}
+
+/// Sink that gathers every frame's slot observations in arrival order,
+/// for experiments that index the assembled timeline directly (SER,
+/// raw throughput) instead of decoding packets.
+class ObservationCollector final : public pipeline::FrameSink {
+ public:
+  ObservationCollector(double symbol_rate_hz, rx::ExtractorConfig extractor)
+      : symbol_rate_hz_(symbol_rate_hz), extractor_(extractor) {}
+
+  void consume(const camera::Frame& frame) override {
+    const std::vector<rx::SlotObservation> slots =
+        rx::extract_slots(frame, symbol_rate_hz_, extractor_);
+    observations_.insert(observations_.end(), slots.begin(), slots.end());
+  }
+
+  [[nodiscard]] rx::SlotTimeline timeline() const {
+    return rx::assemble_timeline(observations_);
+  }
+
+ private:
+  double symbol_rate_hz_;
+  rx::ExtractorConfig extractor_;
+  std::vector<rx::SlotObservation> observations_;
+};
+
+}  // namespace
+
 LinkRunResult LinkSimulator::run_payload(std::span<const std::uint8_t> payload) {
   const tx::Transmitter transmitter(config_.transmitter_config());
   const tx::Transmission transmission = transmitter.transmit(payload);
@@ -101,12 +146,17 @@ LinkRunResult LinkSimulator::run_payload(std::span<const std::uint8_t> payload) 
   // packet/gap alignment per run, exactly as in a field measurement.
   const double start_offset =
       rng_.uniform(0.0, config_.profile.frame_period_s());
-  const std::vector<camera::Frame> frames =
-      camera.capture_video(transmission.trace, start_offset);
 
-  rx::Receiver receiver(config_.receiver_config());
+  // Stream the capture: frames flow camera → receiver through pooled
+  // buffers, with O(pipeline_lookahead) frames resident instead of the
+  // whole video. Packet-for-packet identical to materializing the
+  // capture and running the batch Receiver (rx_streaming_test).
+  rx::StreamingReceiver receiver(config_.receiver_config());
+  (void)stream_capture(camera, transmission.trace, start_offset,
+                       config_.pipeline_lookahead, receiver);
+
   LinkRunResult result;
-  result.report = receiver.process(frames);
+  result.report = receiver.take_report();
   result.payload_bytes = payload.size();
   result.air_time_s = transmission.duration_s();
 
@@ -148,8 +198,8 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
   // calibrated. A single calibration packet can exceed the gap-free
   // readout window (notably CSK-32 at 1 kHz), so repeat it at varying
   // gap phases until the reference set is complete.
+  std::vector<protocol::ChannelSymbol> calibration_slots;
   {
-    std::vector<protocol::ChannelSymbol> calibration_slots;
     const std::vector<protocol::ChannelSymbol> packets[] = {
         transmitter.packetizer().build_calibration_packet(),
         transmitter.packetizer().build_reversed_calibration_packet(),
@@ -171,21 +221,31 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
       calibration_slots.insert(calibration_slots.end(), static_cast<std::size_t>(pad),
                                protocol::ChannelSymbol::white());
     }
-    const led::EmissionTrace calibration_trace = transmitter.led().emit(
-        protocol::drives_of(calibration_slots, transmitter.constellation()),
-        config_.symbol_rate_hz);
-    const auto calibration_frames = camera.capture_video(calibration_trace);
-    (void)receiver.process(calibration_frames);
   }
 
-  const std::vector<camera::Frame> frames = camera.capture_video(transmission.trace);
-  const rx::SlotTimeline timeline = receiver.collect(frames);
-  // Absorb the in-stream calibration preamble too (refreshes references
-  // under the data capture's own exposure).
+  // Calibration preamble and data ride one concatenated slot stream
+  // through a single streamed capture — the camera rolls continuously
+  // from "calibrate" into "measure", as on a real device, and only
+  // O(lookahead) frames are ever resident.
+  std::vector<protocol::ChannelSymbol> combined_slots = calibration_slots;
+  combined_slots.insert(combined_slots.end(), transmission.slots.begin(),
+                        transmission.slots.end());
+  const led::EmissionTrace combined_trace = transmitter.led().emit(
+      protocol::drives_of(combined_slots, transmitter.constellation()),
+      config_.symbol_rate_hz);
+
+  ObservationCollector collector(config_.symbol_rate_hz,
+                                 receiver.config().extractor);
+  (void)stream_capture(camera, combined_trace, /*start_offset_s=*/0.0,
+                       config_.pipeline_lookahead, collector);
+  const rx::SlotTimeline timeline = collector.timeline();
+  // Absorb the calibration packets (and the raw transmission's own
+  // preamble) before classifying the data slots.
   (void)receiver.parse(timeline);
 
   SerResult result;
   const long long data_start =
+      static_cast<long long>(calibration_slots.size()) +
       static_cast<long long>(transmission.slots.size() - symbols.size());
   result.symbols_sent = static_cast<long long>(symbols.size());
   for (std::size_t i = 0; i < symbols.size(); ++i) {
@@ -237,10 +297,11 @@ ThroughputResult LinkSimulator::run_throughput(double duration_s) {
       protocol::drives_of(slots, transmitter.constellation()), config_.symbol_rate_hz);
 
   camera::RollingShutterCamera camera(config_.profile, config_.scene, rng_());
-  const std::vector<camera::Frame> frames = camera.capture_video(trace);
-
-  rx::Receiver receiver(config_.receiver_config());
-  const rx::SlotTimeline timeline = receiver.collect(frames);
+  const rx::ReceiverConfig rx_config = config_.receiver_config();
+  ObservationCollector collector(rx_config.symbol_rate_hz, rx_config.extractor);
+  (void)stream_capture(camera, trace, /*start_offset_s=*/0.0,
+                       config_.pipeline_lookahead, collector);
+  const rx::SlotTimeline timeline = collector.timeline();
 
   ThroughputResult result;
   result.bits_per_symbol = csk::bits_per_symbol(config_.order);

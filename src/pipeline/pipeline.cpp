@@ -1,0 +1,79 @@
+#include "colorbars/pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "colorbars/runtime/thread_pool.hpp"
+
+namespace colorbars::pipeline {
+
+FrameSource::FrameSource(camera::RollingShutterCamera& camera,
+                         const led::EmissionTrace& trace, BufferPool& pool,
+                         SourceConfig config)
+    : camera_(camera), trace_(trace), pool_(pool), config_(config),
+      plan_(camera.plan_capture(trace, config.start_offset_s)) {
+  config_.lookahead = std::max(config_.lookahead, 1);
+}
+
+FrameSource::~FrameSource() {
+  // Return the ring so the pool's outstanding counter balances.
+  for (camera::Frame& frame : ring_) pool_.release_frame(std::move(frame));
+}
+
+void FrameSource::refill() {
+  for (camera::Frame& frame : ring_) pool_.release_frame(std::move(frame));
+  ring_.clear();
+
+  const int base = next_serve_;
+  const int batch = std::min(config_.lookahead, plan_.frame_count() - base);
+  ring_.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) ring_.push_back(pool_.acquire_frame());
+
+  // Frame i depends only on (plan, base + i): rendering the batch in
+  // parallel with per-frame derived RNG streams is byte-identical at
+  // any thread count. Nested inside an outer parallel region (batch
+  // Monte-Carlo trials) this runs inline, per the pool's contract.
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t lo, std::int64_t hi) {
+    camera::RenderScratch scratch = pool_.acquire_scratch();
+    for (std::int64_t i = lo; i < hi; ++i) {
+      camera_.render_planned_frame(trace_, plan_, base + static_cast<int>(i),
+                                   ring_[static_cast<std::size_t>(i)], scratch);
+    }
+    pool_.release_scratch(std::move(scratch));
+  });
+  ring_base_ = base;
+  ++refills_;
+}
+
+camera::Frame* FrameSource::next() {
+  if (next_serve_ >= plan_.frame_count()) return nullptr;
+  if (next_serve_ >= ring_base_ + static_cast<int>(ring_.size())) refill();
+  camera::Frame* frame = &ring_[static_cast<std::size_t>(next_serve_ - ring_base_)];
+  ++next_serve_;
+  return frame;
+}
+
+PipelineStats run_pipeline(FrameSource& source, std::span<FrameStage* const> stages,
+                           FrameSink& sink) {
+  PipelineStats stats;
+  while (camera::Frame* frame = source.next()) {
+    bool keep = true;
+    for (FrameStage* stage : stages) {
+      if (!stage->process(*frame)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      sink.consume(*frame);
+      ++stats.frames_streamed;
+    } else {
+      ++stats.frames_dropped;
+    }
+  }
+  sink.on_stream_end();
+  stats.refills = source.refills();
+  stats.pool = source.pool().stats();
+  return stats;
+}
+
+}  // namespace colorbars::pipeline

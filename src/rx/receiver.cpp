@@ -33,14 +33,25 @@ std::size_t Receiver::scan_lookahead_slots() const noexcept {
   return longest + 2;  // extension guard probes two slots past the prefix
 }
 
-SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
-  std::vector<SlotObservation> observations;
-  for (const camera::Frame& frame : frames) {
-    const std::vector<SlotObservation> frame_slots =
-        extract_slots(frame, config_.symbol_rate_hz, config_.extractor);
-    observations.insert(observations.end(), frame_slots.begin(), frame_slots.end());
-  }
+std::size_t Receiver::max_decision_span_slots() const noexcept {
+  // A committed data record reads prefix + size field + payload slots; a
+  // committed calibration record reads prefix + one color slot per
+  // constellation point. The extension guard probes two slots past any
+  // matched prefix. Every data packet carries exactly one RS codeword,
+  // so the payload span is fixed by the link's RS configuration.
+  const auto size_symbols =
+      static_cast<std::size_t>(protocol::size_field_symbols(config_.format.order));
+  const auto payload_slots = static_cast<std::size_t>(
+      packetizer_.schedule().slots_for_data(packetizer_.symbols_for_bytes(config_.rs_n)));
+  const std::size_t data_span = data_prefix_.size() + size_symbols + payload_slots;
+  const std::size_t calibration_span =
+      std::max({calibration_prefix_.size(), reversed_calibration_prefix_.size(),
+                rotated_calibration_prefix_.size()}) +
+      static_cast<std::size_t>(constellation_.size());
+  return std::max({data_span, calibration_span, scan_lookahead_slots()}) + 2;
+}
 
+SlotTimeline assemble_timeline(std::span<const SlotObservation> observations) {
   SlotTimeline timeline;
   if (observations.empty()) return timeline;
 
@@ -57,6 +68,16 @@ SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
     if (!cell.has_value()) cell = observation;
   }
   return timeline;
+}
+
+SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
+  std::vector<SlotObservation> observations;
+  for (const camera::Frame& frame : frames) {
+    const std::vector<SlotObservation> frame_slots =
+        extract_slots(frame, config_.symbol_rate_hz, config_.extractor);
+    observations.insert(observations.end(), frame_slots.begin(), frame_slots.end());
+  }
+  return assemble_timeline(observations);
 }
 
 int Receiver::classify_data(const SlotObservation& observation) const {
@@ -163,6 +184,63 @@ int observed_color_count(const std::vector<std::optional<ReferenceColor>>& color
 
 }  // namespace
 
+std::optional<Receiver::CalibrationMatch> Receiver::match_calibration(
+    const SlotTimeline& timeline, std::size_t position) const {
+  struct VariantEntry {
+    CalibrationVariant variant;
+    const std::vector<ChannelSymbol>* prefix;
+    bool needs_extension_guard;
+  };
+  // Longest pattern first: each shorter prefix is a strict prefix of the
+  // longer ones, so testing in descending length (plus the extension
+  // guard against gap truncation) disambiguates.
+  const VariantEntry variants[] = {
+      {CalibrationVariant::kRotated, &rotated_calibration_prefix_, false},
+      {CalibrationVariant::kReversed, &reversed_calibration_prefix_, true},
+      {CalibrationVariant::kForward, &calibration_prefix_, true},
+  };
+  for (const VariantEntry& entry : variants) {
+    if (!matches_pattern(timeline, position, *entry.prefix)) continue;
+    if (entry.needs_extension_guard &&
+        !extension_rules_out_longer_prefix(timeline, position, entry.prefix->size())) {
+      continue;
+    }
+    return CalibrationMatch{entry.variant, entry.prefix};
+  }
+  return std::nullopt;
+}
+
+void Receiver::permute_calibration_colors(
+    std::vector<std::optional<ReferenceColor>>& colors, CalibrationVariant variant) const {
+  if (variant == CalibrationVariant::kForward) return;
+  const int color_count = constellation_.size();
+  std::vector<std::optional<ReferenceColor>> out(colors.size());
+  for (int j = 0; j < color_count; ++j) {
+    const int index = variant == CalibrationVariant::kReversed
+                          ? color_count - 1 - j
+                          : (color_count / 2 + j) % color_count;
+    out[static_cast<std::size_t>(index)] = colors[static_cast<std::size_t>(j)];
+  }
+  colors = std::move(out);
+}
+
+std::size_t Receiver::prescan_calibration(const SlotTimeline& timeline, std::size_t from,
+                                          std::size_t limit) {
+  limit = std::min(limit, timeline.slots.size());
+  std::size_t position = from;
+  for (; position < limit && !store_.calibrated(); ++position) {
+    const std::optional<CalibrationMatch> entry = match_calibration(timeline, position);
+    if (!entry.has_value()) continue;
+    auto colors = read_calibration_colors(timeline, position + entry->prefix->size());
+    permute_calibration_colors(colors, entry->variant);
+    if (observed_color_count(colors) > 0) {
+      absorb_pattern_white(timeline, position, *entry->prefix);
+      store_.absorb_calibration_partial(colors);
+    }
+  }
+  return position;
+}
+
 ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
   ReceiverReport report;
   report.slots_observed = static_cast<long long>(timeline.observed_count());
@@ -173,60 +251,12 @@ ReceiverReport Receiver::parse(const SlotTimeline& timeline) {
 
 std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start_position,
                                  std::size_t limit_position, ReceiverReport& report,
-                                 bool final_flush) {
+                                 bool final_flush, bool cold_start_prescan) {
   const std::size_t end = timeline.slots.size();
   limit_position = std::min(limit_position, end);
   if (start_position >= end) return final_flush ? end : start_position;
 
   const std::vector<ChannelSymbol>& data_prefix = data_prefix_;
-  const std::vector<ChannelSymbol>& calibration_prefix = calibration_prefix_;
-  const std::vector<ChannelSymbol>& reversed_calibration_prefix =
-      reversed_calibration_prefix_;
-  const std::vector<ChannelSymbol>& rotated_calibration_prefix =
-      rotated_calibration_prefix_;
-
-  // Calibration variants, longest prefix first. Color slot j of a packet
-  // carries constellation index permute(j).
-  enum class CalibrationVariant { kRotated, kReversed, kForward };
-  struct VariantEntry {
-    CalibrationVariant variant;
-    const std::vector<ChannelSymbol>* prefix;
-    bool needs_extension_guard;
-  };
-  const VariantEntry variants[] = {
-      {CalibrationVariant::kRotated, &rotated_calibration_prefix, false},
-      {CalibrationVariant::kReversed, &reversed_calibration_prefix, true},
-      {CalibrationVariant::kForward, &calibration_prefix, true},
-  };
-  const int color_count = constellation_.size();
-  auto permute_colors = [color_count](std::vector<std::optional<ReferenceColor>>& raw,
-                                      CalibrationVariant variant) {
-    if (variant == CalibrationVariant::kForward) return;
-    std::vector<std::optional<ReferenceColor>> out(raw.size());
-    for (int j = 0; j < color_count; ++j) {
-      const int index = variant == CalibrationVariant::kReversed
-                            ? color_count - 1 - j
-                            : (color_count / 2 + j) % color_count;
-      out[static_cast<std::size_t>(index)] = raw[static_cast<std::size_t>(j)];
-    }
-    raw = std::move(out);
-  };
-  // Finds a calibration-variant match at `position`; returns the entry or
-  // nullptr. The extension guard rejects matches that could be a
-  // gap-truncated longer prefix.
-  auto match_calibration = [&](const SlotTimeline& tl,
-                               std::size_t position) -> const VariantEntry* {
-    for (const VariantEntry& entry : variants) {
-      if (!matches_pattern(tl, position, *entry.prefix)) continue;
-      if (entry.needs_extension_guard &&
-          !extension_rules_out_longer_prefix(tl, position, entry.prefix->size())) {
-        continue;
-      }
-      return &entry;
-    }
-    return nullptr;
-  };
-
   const int size_symbols = protocol::size_field_symbols(config_.format.order);
   const auto& schedule = packetizer_.schedule();
   const int bits = constellation_.bits();
@@ -234,23 +264,13 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
   // Cold-start pre-scan: the capture is decoded offline (as the paper
   // does for its iPhone receiver), so data packets that precede the
   // first *intact* calibration packet can still be demodulated against
-  // it. Find and absorb the earliest complete calibration packet before
-  // the sequential parse; later calibration packets refresh the store as
-  // they are reached. Incremental callers repeat this over the retained
-  // window each drain until calibrated; re-absorbing the same packet
-  // blends identical colors, so the references stay stable.
-  if (!store_.calibrated()) {
-    for (std::size_t position = start_position; position < end; ++position) {
-      const VariantEntry* entry = match_calibration(timeline, position);
-      if (entry == nullptr) continue;
-      auto colors = read_calibration_colors(timeline, position + entry->prefix->size());
-      permute_colors(colors, entry->variant);
-      if (observed_color_count(colors) > 0) {
-        absorb_pattern_white(timeline, position, *entry->prefix);
-        store_.absorb_calibration_partial(colors);
-        if (store_.calibrated()) break;
-      }
-    }
+  // it. Find and absorb the earliest calibration packets before the
+  // sequential parse; later calibration packets refresh the store as
+  // they are reached. Incremental callers manage this themselves via
+  // prescan_calibration with a persistent cursor and pass
+  // cold_start_prescan = false.
+  if (cold_start_prescan && !store_.calibrated()) {
+    (void)prescan_calibration(timeline, start_position, end);
   }
 
   std::size_t position = start_position;
@@ -262,17 +282,18 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
     // Longest pattern first: each shorter prefix is a strict prefix of
     // the longer ones, so testing in descending length (plus the
     // extension guard against gap truncation) disambiguates.
-    const VariantEntry* calibration_entry = match_calibration(timeline, position);
-    const bool data_here = calibration_entry == nullptr &&
+    const std::optional<CalibrationMatch> calibration_entry =
+        match_calibration(timeline, position);
+    const bool data_here = !calibration_entry.has_value() &&
                            matches_pattern(timeline, position, data_prefix) &&
                            extension_rules_out_longer_prefix(timeline, position,
                                                              data_prefix.size());
-    if (calibration_entry == nullptr && !data_here) {
+    if (!calibration_entry.has_value() && !data_here) {
       ++position;
       continue;
     }
 
-    if (calibration_entry != nullptr) {
+    if (calibration_entry.has_value()) {
       const std::size_t colors_at = position + calibration_entry->prefix->size();
       // Defer a packet whose color block extends past the head: the
       // missing colors may still arrive with the next frame. Deferral
@@ -285,7 +306,7 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
       record.kind = protocol::PacketKind::kCalibration;
       record.start_slot = timeline.base_slot + static_cast<long long>(position);
       auto colors = read_calibration_colors(timeline, colors_at);
-      permute_colors(colors, calibration_entry->variant);
+      permute_calibration_colors(colors, calibration_entry->variant);
       const int observed = observed_color_count(colors);
       if (observed > 0) {
         absorb_pattern_white(timeline, position, *calibration_entry->prefix);

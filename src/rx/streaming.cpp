@@ -31,6 +31,7 @@ void StreamingReceiver::push_frame(const camera::Frame& frame) {
   for (const SlotObservation& slot : slots) {
     if (!window_valid_) {
       window_.base_slot = slot.slot;
+      first_slot_ = slot.slot;
       window_valid_ = true;
     }
     // Behind the eviction boundary (or behind the first frame's earliest
@@ -41,7 +42,10 @@ void StreamingReceiver::push_frame(const camera::Frame& frame) {
     if (index >= window_.slots.size()) window_.slots.resize(index + 1);
     auto& cell = window_.slots[index];
     // First writer wins, matching the offline Receiver::collect.
-    if (!cell.has_value()) cell = slot;
+    if (!cell.has_value()) {
+      cell = slot;
+      ++observed_cells_;
+    }
     latest_slot_ = std::max(latest_slot_, slot.slot);
     ++stats_.slots_ingested;
   }
@@ -50,27 +54,73 @@ void StreamingReceiver::push_frame(const camera::Frame& frame) {
   stats_.peak_window_slots = std::max(stats_.peak_window_slots, stats_.window_slots);
 }
 
-std::vector<PacketRecord> StreamingReceiver::drain(bool final_flush) {
-  if (!window_valid_ || window_.slots.empty()) return {};
-  const auto started = std::chrono::steady_clock::now();
+std::size_t StreamingReceiver::head_margin_slots() const noexcept {
+  return static_cast<std::size_t>(holdback_slots()) + receiver_.max_decision_span_slots();
+}
 
-  // The parse may only conclude "no packet starts here" where every slot
-  // a decision probes is final, so the scan limit stays at least the
-  // receiver's lookahead behind the head; the (larger) holdback keeps
-  // gap-straddling packets pending until a whole frame period has
-  // arrived past them.
+void StreamingReceiver::note_drain(double elapsed_s, long long scanned_before) noexcept {
+  ++stats_.drains;
+  stats_.last_drain_slots_scanned = report_.slots_scanned - scanned_before;
+  stats_.slots_scanned = report_.slots_scanned;
+  stats_.window_slots = static_cast<long long>(window_.slots.size());
+  stats_.peak_window_slots = std::max(stats_.peak_window_slots, stats_.window_slots);
+  stats_.last_drain_time_s = elapsed_s;
+  stats_.parse_time_s += elapsed_s;
+}
+
+std::size_t StreamingReceiver::drain(bool final_flush) {
+  const std::size_t first_new = report_.packets.size();
+  if (!window_valid_ || window_.slots.empty()) return first_new;
+  const auto started = std::chrono::steady_clock::now();
+  const long long scanned_before = report_.slots_scanned;
+  auto elapsed = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+        .count();
+  };
+
+  // Cold start: run the resumable calibration pre-scan — each position
+  // examined once, in stream order, the exact absorption sequence of the
+  // offline pre-scan — and hold every decode decision until the store is
+  // fully calibrated, so classification sees the same references the
+  // offline parse does. Until then nothing is parsed or evicted; once
+  // calibrated, the main parse replays from the stream start over the
+  // fully retained window, making the packet sequence byte-identical to
+  // Receiver::parse over the whole capture.
+  if (!receiver_.store().calibrated()) {
+    std::size_t prescan_limit = window_.slots.size();
+    if (!final_flush) {
+      const std::size_t margin = head_margin_slots();
+      prescan_limit = prescan_limit > margin ? prescan_limit - margin : 0;
+    }
+    if (prescan_position_ < prescan_limit) {
+      prescan_position_ =
+          receiver_.prescan_calibration(window_, prescan_position_, prescan_limit);
+    }
+    if (!final_flush && !receiver_.store().calibrated()) {
+      note_drain(elapsed(), scanned_before);
+      return first_new;
+    }
+  }
+
+  // The parse may only conclude anything — "no packet starts here" or a
+  // committed record — where every slot the decision probes is final: a
+  // slot stops changing once a whole frame period has passed it (the
+  // holdback), and a decision at one position can read up to a full
+  // packet beyond it, so the scan limit stays a holdback plus one packet
+  // span behind the head.
   std::size_t limit = window_.slots.size();
   if (!final_flush) {
-    const auto margin = static_cast<std::size_t>(
-        std::max(holdback_slots(),
-                 static_cast<long long>(receiver_.scan_lookahead_slots())));
+    const std::size_t margin = head_margin_slots();
     limit = limit > margin ? limit - margin : 0;
   }
 
-  ReceiverReport report;
-  resume_position_ =
-      receiver_.parse_from(window_, resume_position_, limit, report, final_flush);
-  payload_.insert(payload_.end(), report.payload.begin(), report.payload.end());
+  resume_position_ = receiver_.parse_from(window_, resume_position_, limit, report_,
+                                          final_flush, /*cold_start_prescan=*/false);
+  // Keep the aggregate fields the batch Receiver::parse fills in sync
+  // with everything ingested so far (parse_from only appends packets and
+  // scan counters).
+  report_.slots_observed = observed_cells_;
+  report_.slot_span = latest_slot_ >= first_slot_ ? latest_slot_ - first_slot_ + 1 : 0;
 
   // Evict everything the parse can never revisit: the resume point only
   // moves forward, so slots more than the tail behind it are dead.
@@ -84,24 +134,34 @@ std::vector<PacketRecord> StreamingReceiver::drain(bool final_flush) {
     stats_.slots_evicted += static_cast<long long>(evict);
   }
 
-  ++stats_.drains;
-  stats_.slots_scanned += report.slots_scanned;
-  stats_.last_drain_slots_scanned = report.slots_scanned;
-  stats_.window_slots = static_cast<long long>(window_.slots.size());
-  stats_.peak_window_slots = std::max(stats_.peak_window_slots, stats_.window_slots);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
-  stats_.last_drain_time_s = elapsed;
-  stats_.parse_time_s += elapsed;
-  return std::move(report.packets);
+  note_drain(elapsed(), scanned_before);
+  return first_new;
 }
 
 std::vector<PacketRecord> StreamingReceiver::poll() {
-  return drain(/*final_flush=*/false);
+  const std::size_t first_new = drain(/*final_flush=*/false);
+  return {report_.packets.begin() + static_cast<std::ptrdiff_t>(first_new),
+          report_.packets.end()};
 }
 
 std::vector<PacketRecord> StreamingReceiver::finish() {
-  return drain(/*final_flush=*/true);
+  const std::size_t first_new = drain(/*final_flush=*/true);
+  return {report_.packets.begin() + static_cast<std::ptrdiff_t>(first_new),
+          report_.packets.end()};
+}
+
+void StreamingReceiver::consume(const camera::Frame& frame) {
+  push_frame(frame);
+  (void)drain(/*final_flush=*/false);
+}
+
+void StreamingReceiver::on_stream_end() { (void)drain(/*final_flush=*/true); }
+
+void StreamingReceiver::note_pipeline_stats(
+    const pipeline::PipelineStats& pipeline) noexcept {
+  stats_.pool_frame_hits = pipeline.pool.frame_hits;
+  stats_.pool_frame_misses = pipeline.pool.frame_misses;
+  stats_.peak_resident_frames = pipeline.pool.peak_outstanding_frames;
 }
 
 }  // namespace colorbars::rx

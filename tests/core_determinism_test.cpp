@@ -9,7 +9,10 @@
 #include "colorbars/core/link.hpp"
 #include "colorbars/csk/modulation.hpp"
 #include "colorbars/led/tri_led.hpp"
+#include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/rx/streaming.hpp"
+#include "colorbars/tx/transmitter.hpp"
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars {
@@ -123,6 +126,75 @@ TEST(Determinism, GoodputTrialsIdenticalAcrossThreadCounts) {
     return flat;
   };
   expect_same_at_all_thread_counts(run);
+}
+
+/// Flattens a ReceiverReport for exact comparison. slots_scanned is
+/// excluded by design: it counts parse-loop work, and the incremental
+/// streamed parse re-scans deferred head positions, so it may exceed the
+/// batch value while every decoded artifact is identical (DESIGN.md,
+/// "pipeline subsystem").
+std::vector<long long> flatten_report(const rx::ReceiverReport& report) {
+  std::vector<long long> flat;
+  flat.push_back(static_cast<long long>(report.packets.size()));
+  for (const rx::PacketRecord& packet : report.packets) {
+    flat.push_back(static_cast<long long>(packet.kind));
+    flat.push_back(packet.ok ? 1 : 0);
+    flat.push_back(static_cast<long long>(packet.failure));
+    flat.push_back(packet.start_slot);
+    flat.push_back(packet.corrected_errors);
+    flat.push_back(packet.corrected_erasures);
+    flat.push_back(packet.erased_slots);
+    for (std::uint8_t byte : packet.payload) flat.push_back(byte);
+  }
+  for (std::uint8_t byte : report.payload) flat.push_back(byte);
+  flat.push_back(report.slots_observed);
+  flat.push_back(report.slot_span);
+  flat.push_back(report.calibration_packets);
+  flat.push_back(report.data_packets_ok);
+  flat.push_back(report.data_packets_failed);
+  return flat;
+}
+
+TEST(Determinism, StreamedPipelineMatchesBufferedCaptureAcrossThreadCounts) {
+  const core::LinkConfig link = small_link();
+  const tx::Transmitter transmitter(link.transmitter_config());
+  util::Xoshiro256 rng(0x9a9);
+  std::vector<std::uint8_t> payload(600);
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+  const tx::Transmission transmission = transmitter.transmit(payload);
+  const double start_offset = 0.002;
+
+  // Streamed path: FrameSource prefetch ring -> StreamingReceiver sink,
+  // O(lookahead) frames resident.
+  auto streamed = [&] {
+    camera::RollingShutterCamera camera(link.profile, link.scene, 0xfee1);
+    pipeline::BufferPool pool;
+    pipeline::SourceConfig config;
+    config.lookahead = 5;
+    config.start_offset_s = start_offset;
+    pipeline::FrameSource source(camera, transmission.trace, pool, config);
+    rx::StreamingReceiver sink(link.receiver_config());
+    (void)pipeline::run_pipeline(source, {}, sink);
+    return flatten_report(sink.report());
+  };
+  // Buffered path: the retained capture_video + batch Receiver::process.
+  auto buffered = [&] {
+    camera::RollingShutterCamera camera(link.profile, link.scene, 0xfee1);
+    const std::vector<camera::Frame> frames =
+        camera.capture_video(transmission.trace, start_offset);
+    rx::Receiver receiver(link.receiver_config());
+    return flatten_report(receiver.process(frames));
+  };
+
+  runtime::ThreadPool::set_shared_thread_count(1);
+  const std::vector<long long> reference = streamed();
+  EXPECT_EQ(reference, buffered()) << "streamed != buffered at 1 thread";
+  for (unsigned threads : {2u, 8u}) {
+    runtime::ThreadPool::set_shared_thread_count(threads);
+    EXPECT_EQ(reference, streamed()) << "streamed diverged at " << threads;
+    EXPECT_EQ(reference, buffered()) << "buffered diverged at " << threads;
+  }
+  runtime::ThreadPool::set_shared_thread_count(0);
 }
 
 TEST(BatchTrials, StatsAggregateTrials) {
