@@ -14,14 +14,14 @@ int main() {
   bench::print_header("Baseline comparison: OOK vs FSK vs ColorBars CSK (Nexus-class camera)");
 
   const camera::SensorProfile profile = camera::nexus5_profile();
-  const camera::SceneConfig scene{};
+  const channel::ChannelSpec channel_spec{};
 
   std::printf("%-26s %-16s %-14s %s\n", "scheme", "throughput", "error rate",
               "notes");
 
   {
     baseline::FskConfig config;
-    const baseline::FskRunResult result = baseline::fsk_run(config, profile, scene, 90, 7);
+    const baseline::FskRunResult result = baseline::fsk_run(config, profile, channel_spec, 90, 7);
     std::printf("%-26s %10.1f bps  %-14.4f %s\n", "FSK (8 freq, 1 sym/frame)",
                 result.throughput_bps(), result.ser(),
                 "RollingLight-class baseline (~90 bps = 11 B/s)");
@@ -30,7 +30,7 @@ int main() {
     baseline::OokConfig config;
     config.symbol_rate_hz = 2000.0;
     const baseline::OokRunResult result =
-        baseline::ook_run(config, profile, scene, 6000, 8);
+        baseline::ook_run(config, profile, channel_spec, 6000, 8);
     std::printf("%-26s %10.1f bps  %-14.4f %s\n", "OOK @ 2 kHz",
                 result.throughput_bps(), result.ber(),
                 "1 bit/band, ambient-sensitive, flickers");

@@ -63,15 +63,25 @@ int main() {
   // spread the camera pipeline produces at moderate exposure.
   const double sigma = 0.015;
 
+  bench::JsonReport report("extension_constellation");
   std::printf("%-8s %-22s %-22s %-14s %-14s\n", "order", "min dist (standard)",
               "min dist (optimized)", "SER (std)", "SER (opt)");
   for (const csk::CskOrder order : csk::all_orders()) {
     const csk::Constellation standard(order, gamut);
     const auto optimized =
         csk::optimize_constellation(gamut, standard.points(), 400);
+    const double std_min = min_distance(standard.points());
+    const double opt_min = min_distance(optimized);
+    const double std_ser = noise_ser(standard.points(), sigma, 7);
+    const double opt_ser = noise_ser(optimized, sigma, 7);
     std::printf("%-8s %-22.4f %-22.4f %-14.5f %-14.5f\n", bench::order_name(order),
-                min_distance(standard.points()), min_distance(optimized),
-                noise_ser(standard.points(), sigma, 7), noise_ser(optimized, sigma, 7));
+                std_min, opt_min, std_ser, opt_ser);
+    report.add_row()
+        .label("order", bench::order_name(order))
+        .metric("min_distance_standard", std_min)
+        .metric("min_distance_optimized", opt_min)
+        .metric("ser_standard", std_ser)
+        .metric("ser_optimized", opt_ser);
   }
 
   std::printf(

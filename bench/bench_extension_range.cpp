@@ -1,10 +1,13 @@
 // Extension bench (paper §10 future work): operating range. The paper's
 // prototype needed the phone within ~3 cm because its tri-LED is dim;
-// the authors propose LED arrays for more lumens. Here the signal scale
-// stands in for distance/lumens (received irradiance falls off with
-// distance), sweeping from the close-range reference (1.0) down to 3% —
-// the receiver's auto-exposure stretches exposure and then raises ISO,
-// trading inter-symbol interference and noise for signal.
+// the authors propose LED arrays for more lumens. This sweep moves the
+// phone away from the LED in real meters through the channel's
+// inverse-square attenuation stage (3 cm is the close-range reference
+// where gain is 1.0) — the receiver's auto-exposure stretches exposure
+// and then raises ISO, trading inter-symbol interference and noise for
+// signal.
+
+#include <cmath>
 
 #include "bench_util.hpp"
 #include "colorbars/core/link.hpp"
@@ -13,35 +16,51 @@ using namespace colorbars;
 
 int main() {
   bench::print_header(
-      "Extension: SER and goodput vs received signal level (CSK8 @ 2 kHz, Nexus-class)");
+      "Extension: SER and goodput vs distance (CSK8 @ 2 kHz, Nexus-class)");
+  bench::JsonReport report("extension_range");
 
-  std::printf("%-14s %-12s %-12s %-14s %-12s\n", "signal scale", "exposure", "ISO",
-              "SER", "goodput");
-  for (const double scale : {1.0, 0.5, 0.25, 0.12, 0.06, 0.03}) {
+  std::printf("%-14s %-12s %-12s %-12s %-14s %-12s\n", "distance", "gain", "exposure",
+              "ISO", "SER", "goodput");
+  // 3 cm (reference) out to ~17 cm: each step is sqrt(2) further, i.e.
+  // the received signal halves — the same gain ladder the old
+  // signal_scale sweep {1.0 .. 0.03} walked, now in meters.
+  for (const double distance_m :
+       {0.030, 0.042, 0.060, 0.087, 0.122, 0.173}) {
     core::LinkConfig config;
     config.order = csk::CskOrder::kCsk8;
     config.symbol_rate_hz = 2000.0;
     config.profile = camera::nexus5_profile();
-    config.scene.signal_scale = scale;
-    config.seed = 0xd157 + static_cast<std::uint64_t>(scale * 1000);
+    config.channel.distance.distance_m = distance_m;
+    config.seed = 0xd157 + static_cast<std::uint64_t>(distance_m * 1e4);
 
-    // Report the auto-exposure decision the camera would make.
-    camera::RollingShutterCamera camera(config.profile, config.scene, 1);
+    // Report the attenuation and the auto-exposure decision the camera
+    // would make at this distance.
+    const channel::OpticalChannel optics(config.channel);
+    camera::RollingShutterCamera camera(config.profile, optics, 1);
     const led::TriLed led;
     const auto settings = camera.auto_exposure(led.radiance(csk::white_drive()));
 
     core::LinkSimulator sim(config);
     const core::SerResult ser = sim.run_ser(3000);
     const core::LinkRunResult goodput = sim.run_goodput(1.5);
-    std::printf("%-14.2f %9.0f us  %-12.0f %-14.4f %8.0f bps\n", scale,
+    std::printf("%9.1f cm  %-12.3f %9.0f us  %-12.0f %-14.4f %8.0f bps\n",
+                distance_m * 100.0, optics.attenuation_gain(),
                 settings.exposure_s * 1e6, settings.iso, ser.ser(),
                 goodput.goodput_bps());
+    report.add_row()
+        .metric("distance_m", distance_m)
+        .metric("attenuation_gain", optics.attenuation_gain())
+        .metric("exposure_us", settings.exposure_s * 1e6)
+        .metric("iso", settings.iso)
+        .metric("ser", ser.ser())
+        .metric("loss_ratio", ser.inter_frame_loss_ratio)
+        .metric("goodput_bps", goodput.goodput_bps());
   }
 
   std::printf(
-      "\nExpected shape: graceful at moderate attenuation (auto-exposure absorbs\n"
-      "it), then SER rises and goodput collapses once the exposure window grows\n"
-      "comparable to the symbol duration and ISO gain amplifies noise — the\n"
-      "paper's motivation for LED arrays at range.\n");
+      "\nExpected shape: graceful at moderate range (auto-exposure absorbs the\n"
+      "inverse-square falloff), then SER rises and goodput collapses once the\n"
+      "exposure window grows comparable to the symbol duration and ISO gain\n"
+      "amplifies noise — the paper's motivation for LED arrays at range.\n");
   return 0;
 }

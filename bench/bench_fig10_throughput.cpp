@@ -13,6 +13,7 @@ using namespace colorbars;
 
 int main() {
   bench::print_header("Fig. 10: raw throughput (kbps) vs symbol frequency");
+  bench::JsonReport report("fig10_throughput");
 
   for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
     std::printf("\n%s\n", profile.name.c_str());
@@ -34,6 +35,12 @@ int main() {
         // 2 s per point, split into parallel trials on derived seeds.
         const core::ThroughputBatchResult batch = sim.run_throughput_trials(2, 1.0);
         std::printf(" %9.2fkb", batch.throughput_bps.mean / 1000.0);
+        report.add_row()
+            .label("device", profile.name)
+            .label("order", bench::order_name(order))
+            .metric("symbol_rate_hz", frequency)
+            .metric("throughput_bps_mean", batch.throughput_bps.mean)
+            .metric("throughput_bps_stddev", batch.throughput_bps.stddev);
       }
       std::printf("\n");
     }

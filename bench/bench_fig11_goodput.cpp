@@ -16,6 +16,7 @@ using namespace colorbars;
 
 int main() {
   bench::print_header("Fig. 11: goodput (kbps) vs symbol frequency");
+  bench::JsonReport report("fig11_goodput");
 
   for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
     std::printf("\n%s\n", profile.name.c_str());
@@ -37,6 +38,12 @@ int main() {
         // 3 s per point, split into parallel trials on derived seeds.
         const core::GoodputBatchResult batch = sim.run_goodput_trials(2, 1.5);
         std::printf(" %9.2fkb", batch.goodput_bps.mean / 1000.0);
+        report.add_row()
+            .label("device", profile.name)
+            .label("order", bench::order_name(order))
+            .metric("symbol_rate_hz", frequency)
+            .metric("goodput_bps_mean", batch.goodput_bps.mean)
+            .metric("goodput_bps_stddev", batch.goodput_bps.stddev);
       }
       std::printf("\n");
     }

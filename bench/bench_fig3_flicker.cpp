@@ -25,11 +25,16 @@ int main() {
 
   const std::vector<double> frequencies{500, 1000, 2000, 3000, 4000, 5000};
   std::printf("%-12s %-18s %-14s\n", "freq (Hz)", "min white symbols", "residual maxΔE");
+  bench::JsonReport report("fig3_flicker");
   const auto curve =
       flicker::white_requirement_curve(constellation, led, frequencies, config);
   for (const auto& point : curve) {
     std::printf("%-12.0f %-18.0f%% %-14.2f\n", point.symbol_rate_hz,
                 100.0 * point.min_white_fraction, point.max_delta_e_at_min);
+    report.add_row()
+        .metric("symbol_rate_hz", point.symbol_rate_hz)
+        .metric("min_white_fraction", point.min_white_fraction)
+        .metric("max_delta_e_at_min", point.max_delta_e_at_min);
   }
 
   bench::print_header("Fig. 3(c): color band width vs symbol rate (scanlines)");
@@ -37,6 +42,10 @@ int main() {
   for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
     std::printf("%-10s %-16.1f %-16.1f\n", profile.name.c_str(),
                 profile.band_rows(1000), profile.band_rows(3000));
+    report.add_row()
+        .label("device", profile.name)
+        .metric("band_rows_1000", profile.band_rows(1000))
+        .metric("band_rows_3000", profile.band_rows(3000));
   }
   std::printf(
       "\nExpected shape: white requirement decreases monotonically with frequency\n"

@@ -88,6 +88,12 @@ int main() {
   std::printf("%-24s %-14.2f\n", "CIELab (a,b) distance", lab_variance);
   std::printf("ratio RGB / CIELab = %.1fx\n", rgb_variance / lab_variance);
 
+  bench::JsonReport report("fig8_colorspace");
+  report.add_row()
+      .metric("rgb_variance", rgb_variance)
+      .metric("lab_variance", lab_variance)
+      .metric("ratio", rgb_variance / lab_variance);
+
   std::printf(
       "\nExpected shape: L falls off toward the frame periphery (8a); the CIELab\n"
       "chroma variance is several times smaller than the RGB variance (8b), which\n"

@@ -14,6 +14,7 @@ using namespace colorbars;
 
 int main() {
   bench::print_header("Fig. 9: SER vs symbol frequency (CIELab matching, auto exposure)");
+  bench::JsonReport report("fig9_ser");
 
   for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
     std::printf("\n%s\n", profile.name.c_str());
@@ -36,6 +37,13 @@ int main() {
         const int symbols_per_trial = static_cast<int>(frequency * 1.25);
         const core::SerBatchResult batch = sim.run_ser_trials(2, symbols_per_trial);
         std::printf(" %11.4f", batch.ser.mean);
+        report.add_row()
+            .label("device", profile.name)
+            .label("order", bench::order_name(order))
+            .metric("symbol_rate_hz", frequency)
+            .metric("ser_mean", batch.ser.mean)
+            .metric("ser_stddev", batch.ser.stddev)
+            .metric("loss_ratio_mean", batch.inter_frame_loss_ratio.mean);
       }
       std::printf("\n");
     }

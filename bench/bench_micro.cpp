@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "colorbars/camera/bayer.hpp"
 #include "colorbars/camera/camera.hpp"
 #include "colorbars/color/lab.hpp"
@@ -236,7 +237,8 @@ BENCHMARK(BM_PipelineFrame)->Arg(0)->Arg(1);
 // default; all other standard --benchmark_* flags pass through.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string out_flag =
+      "--benchmark_out=" + colorbars::bench::bench_json_path("micro");
   std::string format_flag = "--benchmark_out_format=json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
   // Capture through the streaming frame pipeline: a FrameSource renders
   // the capture plan a bounded lookahead at a time into pooled buffers,
   // so a minute of video never has to be held in memory.
-  camera::RollingShutterCamera camera(link.profile, link.scene, 0x5eed);
+  camera::RollingShutterCamera camera(
+      link.profile, channel::OpticalChannel(link.channel), 0x5eed);
   rx::StreamingReceiver streaming(link.receiver_config());
   const double period = link.profile.frame_period_s();
   pipeline::BufferPool pool;

@@ -20,6 +20,7 @@ int main() {
   }
   std::printf("  avg loss ratio (paper)\n");
 
+  bench::JsonReport report("table1_loss");
   for (const auto& profile : {camera::nexus5_profile(), camera::iphone5s_profile()}) {
     std::printf("%-10s", profile.name.c_str());
     double loss_total = 0.0;
@@ -36,6 +37,11 @@ int main() {
           static_cast<double>(result.symbols_sent);
       loss_total += result.inter_frame_loss_ratio;
       std::printf(" %11.2f", received_per_second);
+      report.add_row()
+          .label("device", profile.name)
+          .metric("symbol_rate_hz", frequency)
+          .metric("received_per_second", received_per_second)
+          .metric("loss_ratio", result.inter_frame_loss_ratio);
     }
     std::printf("  %.4f (%.4f)\n", loss_total / 4.0, profile.inter_frame_loss_ratio);
   }

@@ -4,13 +4,117 @@
 // regenerates one table or figure of the paper and prints it in a plain
 // text layout comparable to the published one.
 
+#include <cmath>
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "colorbars/csk/constellation.hpp"
 
 namespace colorbars::bench {
+
+/// Canonical machine-readable output path of a bench: every bench
+/// binary mirrors its table into BENCH_<name>.json in the working
+/// directory, so the perf trajectory is diffable across commits.
+inline std::string bench_json_path(const std::string& name) {
+  return "BENCH_" + name + ".json";
+}
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/inf
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+/// Row-oriented JSON emitter shared by the fig/extension benches. Usage:
+///
+///   bench::JsonReport report("fig9_ser");
+///   report.add_row().label("device", "Nexus 5").metric("ser", 0.02);
+///   ...
+///   report.write();  // -> BENCH_fig9_ser.json (also runs at destruction)
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  ~JsonReport() {
+    if (!written_) write();
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  class Row {
+   public:
+    Row& label(const std::string& key, const std::string& value) {
+      fields_.push_back("\"" + json_escape(key) + "\": \"" + json_escape(value) + "\"");
+      return *this;
+    }
+    Row& metric(const std::string& key, double value) {
+      fields_.push_back("\"" + json_escape(key) + "\": " + json_number(value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::string> fields_;
+  };
+
+  /// Returned reference stays valid across later add_row calls.
+  Row& add_row() { return rows_.emplace_back(); }
+
+  [[nodiscard]] std::string path() const { return bench_json_path(name_); }
+
+  void write() {
+    written_ = true;
+    std::FILE* file = std::fopen(path().c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                 json_escape(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::string row = "    {";
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        row += fields[f];
+        if (f + 1 < fields.size()) row += ", ";
+      }
+      row += i + 1 < rows_.size() ? "},\n" : "}\n";
+      std::fputs(row.c_str(), file);
+    }
+    std::fputs("  ]\n}\n", file);
+    std::fclose(file);
+    std::printf("\n[wrote %s]\n", path().c_str());
+  }
+
+ private:
+  std::string name_;
+  std::deque<Row> rows_;
+  bool written_ = false;
+};
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

@@ -35,7 +35,8 @@ int main() {
   // The phone: frames stream out of the camera pipeline one lookahead
   // batch at a time (never the whole video) and feed the streaming
   // receiver as they "arrive".
-  camera::RollingShutterCamera camera(link.profile, link.scene, 0x0ce4);
+  camera::RollingShutterCamera camera(
+      link.profile, channel::OpticalChannel(link.channel), 0x0ce4);
   pipeline::BufferPool pool;
   pipeline::FrameSource source(camera, transmission.trace, pool, {});
   rx::StreamingReceiver receiver(link.receiver_config());

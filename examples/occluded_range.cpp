@@ -1,0 +1,147 @@
+// The paper's §10 outlook, made concrete: a ceiling LED-array luminaire
+// (a physically larger emitter than the bench tri-LED, modeled as a
+// larger channel reference distance) broadcasting to a phone held half a
+// meter away, while people intermittently walk through the line of
+// sight. Everything rides on colorbars::channel — the camera itself is
+// untouched: distance attenuation and occlusion bursts are dialed into
+// the LinkConfig's ChannelSpec, auto-exposure reacts to the attenuated
+// scene, and the broadcast carousel plus Reed-Solomon absorb the burst
+// losses the same way they absorb inter-frame gaps.
+//
+// Build & run:   ./build/examples/occluded_range
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "colorbars/core/link.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+/// Splits content into numbered chunks ([seq][len][data...], padded to
+/// one RS message each) so every data packet is independently usable —
+/// the same carousel framing as the retail-beacon example.
+std::vector<std::uint8_t> make_carousel_payload(const std::string& content,
+                                                int message_bytes) {
+  const int chunk_capacity = message_bytes - 2;
+  std::vector<std::uint8_t> payload;
+  int seq = 0;
+  for (std::size_t offset = 0; offset < content.size();
+       offset += static_cast<std::size_t>(chunk_capacity)) {
+    const std::size_t take =
+        std::min(content.size() - offset, static_cast<std::size_t>(chunk_capacity));
+    payload.push_back(static_cast<std::uint8_t>(seq++));
+    payload.push_back(static_cast<std::uint8_t>(take));
+    for (std::size_t i = 0; i < take; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(content[offset + i]));
+    }
+    while ((payload.size() % static_cast<std::size_t>(message_bytes)) != 0) {
+      payload.push_back(0);
+    }
+  }
+  return payload;
+}
+
+struct BroadcastOutcome {
+  int chunks_received = 0;
+  int cycles = 0;
+  double air_time_s = 0.0;
+  std::string recovered;
+};
+
+/// Runs the broadcast carousel through `spec` until the whole message
+/// arrived (or 12 cycles passed) and reassembles it.
+BroadcastOutcome broadcast(const channel::ChannelSpec& spec, const std::string& content) {
+  core::LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;
+  config.symbol_rate_hz = 2000.0;
+  config.profile = camera::nexus5_profile();
+  config.channel = spec;
+  config.seed = 0x0cc10;
+  core::LinkSimulator link(config);
+
+  const int message_bytes = config.transmitter_config().rs_k;
+  const std::vector<std::uint8_t> cycle_payload =
+      make_carousel_payload(content, message_bytes);
+  const int total_chunks = static_cast<int>(cycle_payload.size() /
+                                            static_cast<std::size_t>(message_bytes));
+
+  BroadcastOutcome outcome;
+  std::map<int, std::vector<std::uint8_t>> chunks;
+  while (static_cast<int>(chunks.size()) < total_chunks && outcome.cycles < 12) {
+    ++outcome.cycles;
+    const core::LinkRunResult result = link.run_payload(cycle_payload);
+    outcome.air_time_s += result.air_time_s;
+    for (const rx::PacketRecord& record : result.report.packets) {
+      if (record.kind != protocol::PacketKind::kData || !record.ok) continue;
+      if (record.payload.size() < 2) continue;
+      const int seq = record.payload[0];
+      if (seq < total_chunks) chunks.emplace(seq, record.payload);
+    }
+  }
+  outcome.chunks_received = static_cast<int>(chunks.size());
+
+  for (int seq = 0; seq < total_chunks; ++seq) {
+    const auto it = chunks.find(seq);
+    if (it == chunks.end()) {
+      outcome.recovered += "[...missing...]";
+      continue;
+    }
+    const auto& chunk = it->second;
+    const int length = chunk.size() > 1 ? chunk[1] : 0;
+    for (int i = 0; i < length && i + 2 < static_cast<int>(chunk.size()); ++i) {
+      outcome.recovered += static_cast<char>(chunk[static_cast<std::size_t>(i) + 2]);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ColorBars through a real room: 0.5 m range + passers-by\n");
+  std::printf("=======================================================\n\n");
+
+  const std::string notice =
+      "GATE B12 * Boarding 14:35 * Flight CB-2015 to Davis * "
+      "Overhead bins full past row 20, gate-check available.";
+
+  // The luminaire: an LED array whose emitting area keeps the phone's
+  // view filled from further back — unity received signal out to 0.35 m
+  // instead of the bench prototype's 3 cm. The phone reads it from half
+  // a meter, in a lit room.
+  channel::ChannelSpec luminaire;
+  luminaire.distance.reference_distance_m = 0.35;
+  luminaire.distance.distance_m = 0.50;  // inverse-square gain 0.49
+  luminaire.ambient.level = 0.02;
+
+  // Same spot with a stream of people walking through: ~3 blockage
+  // bursts per second, ~80 ms long; a passing body still leaks 10% of
+  // the light around its silhouette.
+  channel::ChannelSpec crowded = luminaire;
+  crowded.occlusion.rate_hz = 3.0;
+  crowded.occlusion.mean_duration_s = 0.08;
+  crowded.occlusion.transmission = 0.1;
+
+  std::printf("signal gain at 0.5 m: %.2f (reference %.2f m)\n\n",
+              channel::OpticalChannel(luminaire).attenuation_gain(),
+              luminaire.distance.reference_distance_m);
+
+  const BroadcastOutcome clear = broadcast(luminaire, notice);
+  std::printf("[1] clear line of sight:  complete in %d cycle(s), %.2f s on air\n",
+              clear.cycles, clear.air_time_s);
+  const BroadcastOutcome occluded = broadcast(crowded, notice);
+  std::printf("[2] with occlusion bursts: complete in %d cycle(s), %.2f s on air\n\n",
+              occluded.cycles, occluded.air_time_s);
+
+  std::printf("Phone shows:\n  \"%s\"\n\n", occluded.recovered.c_str());
+  std::printf(
+      "An occlusion burst blanks the scanlines whose exposure windows overlap\n"
+      "it — the same geometry as the inter-frame gap — so the carousel and the\n"
+      "RS erasure budget provisioned for frame gaps also pay for blockages;\n"
+      "passers-by cost retransmission time, not the link.\n");
+  return (clear.recovered == notice && occluded.recovered == notice) ? 0 : 1;
+}

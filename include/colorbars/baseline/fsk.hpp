@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "colorbars/camera/camera.hpp"
+#include "colorbars/channel/channel.hpp"
 #include "colorbars/led/tri_led.hpp"
 
 namespace colorbars::baseline {
@@ -66,9 +67,11 @@ struct FskRunResult {
   }
 };
 
+/// End-to-end FSK run through the given optical channel (the default
+/// spec is the identity close-range channel).
 [[nodiscard]] FskRunResult fsk_run(const FskConfig& config,
                                    const camera::SensorProfile& profile,
-                                   const camera::SceneConfig& scene, int symbol_count,
+                                   const channel::ChannelSpec& channel_spec, int symbol_count,
                                    std::uint64_t seed);
 
 }  // namespace colorbars::baseline

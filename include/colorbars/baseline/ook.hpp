@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "colorbars/camera/camera.hpp"
+#include "colorbars/channel/channel.hpp"
 #include "colorbars/led/tri_led.hpp"
 
 namespace colorbars::baseline {
@@ -54,9 +55,11 @@ struct OokRunResult {
   }
 };
 
+/// End-to-end OOK run through the given optical channel (the default
+/// spec is the identity close-range channel).
 [[nodiscard]] OokRunResult ook_run(const OokConfig& config,
                                    const camera::SensorProfile& profile,
-                                   const camera::SceneConfig& scene, int bit_count,
+                                   const channel::ChannelSpec& channel_spec, int bit_count,
                                    std::uint64_t seed);
 
 }  // namespace colorbars::baseline

@@ -14,6 +14,7 @@
 
 #include "colorbars/camera/image.hpp"
 #include "colorbars/camera/profile.hpp"
+#include "colorbars/channel/channel.hpp"
 #include "colorbars/led/emission.hpp"
 #include "colorbars/util/rng.hpp"
 
@@ -33,17 +34,6 @@ struct ExposureSettings {
           "ExposureSettings: exposure_s and iso must be positive");
     }
   }
-};
-
-/// Scene description around the LED signal.
-struct SceneConfig {
-  /// Ambient light reaching the sensor, as XYZ radiance added to the LED
-  /// signal (daylight-ish chromaticity, low level for the paper's
-  /// close-range setup where the LED dominates the field of view).
-  double ambient_level = 0.005;
-  /// LED signal scale: 1.0 is the close-range (< 3 cm) setup where the
-  /// LED fills the field of view near sensor saturation reference.
-  double signal_scale = 1.0;
 };
 
 /// Reusable per-frame render scratch: the intermediate buffers one
@@ -71,14 +61,21 @@ struct CapturePlan {
   }
 };
 
-/// Rolling-shutter camera instance. Deterministic given its seed.
+/// Rolling-shutter camera instance: pure sensor physics. Everything
+/// between LED and sensor — distance, ambient, occlusion — lives in
+/// the channel::OpticalChannel the camera integrates through (the
+/// default channel is the identity close-range setup). Deterministic
+/// given its seed.
 class RollingShutterCamera {
  public:
-  RollingShutterCamera(SensorProfile profile, SceneConfig scene = {},
+  RollingShutterCamera(SensorProfile profile,
+                       channel::OpticalChannel optical_channel = channel::OpticalChannel{},
                        std::uint64_t noise_seed = 0x5eed);
 
   [[nodiscard]] const SensorProfile& profile() const noexcept { return profile_; }
-  [[nodiscard]] const SceneConfig& scene() const noexcept { return scene_; }
+  [[nodiscard]] const channel::OpticalChannel& optical_channel() const noexcept {
+    return channel_;
+  }
 
   /// Fixes exposure/ISO manually (disables auto exposure). Throws on
   /// non-positive exposure or ISO (see ExposureSettings::validate).
@@ -145,11 +142,14 @@ class RollingShutterCamera {
                                      const ExposureSettings& settings) const noexcept;
 
   SensorProfile profile_;
-  SceneConfig scene_;
+  channel::OpticalChannel channel_;
   std::optional<ExposureSettings> manual_exposure_;
   util::Xoshiro256 rng_;
-  /// Sensor response to the constant D65 ambient term, hoisted out of
-  /// the per-row exposure integral.
+  /// True when the channel's ambient term is time-invariant, making
+  /// ambient_sensor_ below valid for every row of every frame.
+  bool ambient_constant_ = true;
+  /// Sensor response to the channel's constant ambient term, hoisted
+  /// out of the per-row exposure integral.
   led::Vec3 ambient_sensor_;
   /// Separable squared vignette distances, precomputed per row/column so
   /// the per-pixel gain is two lookups and a multiply.

@@ -1,0 +1,167 @@
+#pragma once
+
+// The composable optical channel between LED emission and camera
+// sensor. The paper's evaluation (§8, Fig. 6/12) varies exactly this
+// layer — distance, ambient light, blockage — so it is modeled as its
+// own subsystem instead of scalars welded into the camera:
+//
+//  * Radiance-domain stages act on light before it reaches the sensor
+//    and are evaluated inside the camera's per-row exposure integral:
+//    inverse-square distance attenuation (meters, replacing the old
+//    ad-hoc signal_scale), occlusion/blockage bursts, and a
+//    configurable-illuminant ambient term with optional AC mains
+//    flicker (replacing the hardcoded D65 constant).
+//  * Frame-domain stages act on finished frames and are implemented as
+//    pipeline::FrameStage hooks (frame drops, per-frame gain wobble) —
+//    see channel/stages.hpp.
+//
+// Invariants: the default ChannelSpec is the identity channel — it
+// reproduces the pre-channel captures byte for byte (gain is exactly
+// 1.0, the ambient precompute uses the same expression) — and every
+// stochastic stage draws from streams derived purely from (seed, time
+// bucket or frame index), so output is byte-identical at any thread
+// count.
+
+#include <cstdint>
+
+#include "colorbars/color/cie.hpp"
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::channel {
+
+/// Free-space path loss. The paper's reference setup holds the phone
+/// within 3 cm of the LED (§6); moving to `distance_m` scales the
+/// received radiance by the inverse square of the distance ratio, so
+/// the default (distance == reference) is exactly unity gain.
+struct DistanceSpec {
+  /// LED-to-sensor distance in meters.
+  double distance_m = 0.03;
+  /// Distance at which the received signal saturates the reference
+  /// close-range setup. Raising it models a physically larger emitter
+  /// (the paper's §10 LED-array extension keeps the LED filling the
+  /// field of view from further away).
+  double reference_distance_m = 0.03;
+
+  [[nodiscard]] double gain() const noexcept {
+    const double ratio = reference_distance_m / distance_m;
+    return ratio * ratio;
+  }
+};
+
+/// Ambient light reaching the sensor, as xyY radiance added to the LED
+/// signal. Default matches the old hardcoded term: D65 chromaticity at
+/// a low level (the close-range LED dominates the field of view).
+struct AmbientSpec {
+  color::Chromaticity chromaticity = color::kD65;
+  double level = 0.005;
+};
+
+/// Sinusoidal modulation of the ambient level — AC mains flicker
+/// (incandescent/fluorescent fixtures ripple at twice the mains
+/// frequency: 100 Hz or 120 Hz). Disabled by default.
+struct FlickerSpec {
+  /// Ripple frequency in Hz; 0 disables flicker entirely.
+  double frequency_hz = 0.0;
+  /// Peak modulation as a fraction of the ambient level, in [0, 1).
+  double modulation_depth = 0.0;
+  /// Phase of the ripple at t = 0, radians.
+  double phase_rad = 0.0;
+};
+
+/// Transient blockage of the LED path (a hand, a passer-by). Bursts are
+/// derived per time bucket from the channel seed, so occlusion is a
+/// pure function of time — identical across threads and capture paths.
+struct OcclusionSpec {
+  /// Expected bursts per second; 0 disables occlusion. At most one
+  /// burst starts per 1/rate_hz bucket.
+  double rate_hz = 0.0;
+  /// Mean burst length, seconds (exponentially distributed, truncated
+  /// at the bucket boundary so bursts never straddle buckets).
+  double mean_duration_s = 0.05;
+  /// Residual signal gain while blocked, in [0, 1] (0 = opaque).
+  double transmission = 0.0;
+};
+
+/// Frame-domain impairments, realized as pipeline::FrameStage hooks
+/// between camera and receiver (see channel/stages.hpp).
+struct FrameImpairmentSpec {
+  /// Probability a finished frame never leaves the camera pipeline
+  /// (phone frame skips), in [0, 1).
+  double drop_probability = 0.0;
+  /// Standard deviation of a per-frame multiplicative pixel gain
+  /// (post-capture processing wobble), in [0, 0.5]; 0 disables.
+  double gain_wobble_sigma = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_probability > 0.0 || gain_wobble_sigma > 0.0;
+  }
+};
+
+/// Full channel description. The default value is the identity channel:
+/// byte-identical to the pre-channel close-range captures.
+struct ChannelSpec {
+  DistanceSpec distance{};
+  AmbientSpec ambient{};
+  FlickerSpec flicker{};
+  OcclusionSpec occlusion{};
+  FrameImpairmentSpec frame{};
+
+  /// Throws std::invalid_argument unless every parameter is in range
+  /// (mirrors camera::ExposureSettings::validate — a negative ambient
+  /// level or distance would otherwise propagate NaN-free garbage
+  /// through the sensor path). NaN fails every check.
+  void validate() const;
+};
+
+/// The radiance-domain channel evaluator the camera integrates through.
+/// Constructed from a validated spec plus a seed for the stochastic
+/// stages; all queries are const and thread-safe (pure functions of
+/// time), so one instance serves every render thread.
+class OpticalChannel {
+ public:
+  /// Validates `spec` on construction (see ChannelSpec::validate).
+  /// Deliberately non-explicit: a ChannelSpec is a complete channel
+  /// description, so APIs taking an OpticalChannel accept a spec (or
+  /// `{}` for the identity channel) directly.
+  OpticalChannel(const ChannelSpec& spec = {}, std::uint64_t seed = 0x0cc1);
+
+  [[nodiscard]] const ChannelSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The static distance attenuation (what auto-exposure meters —
+  /// transient occlusion is deliberately excluded, as a phone's AE
+  /// converges on the steady scene, not a hand waving through it).
+  [[nodiscard]] double attenuation_gain() const noexcept { return attenuation_gain_; }
+
+  /// Mean LED signal gain over the exposure window [t0, t1]: distance
+  /// attenuation times the occluded fraction of the window. Exactly
+  /// attenuation_gain() when no occlusion is configured.
+  [[nodiscard]] double signal_gain(double t0, double t1) const noexcept;
+
+  /// Mean occlusion gain over [t0, t1], in [transmission, 1].
+  [[nodiscard]] double occlusion_gain(double t0, double t1) const noexcept;
+
+  /// True when the ambient term is time-invariant (no flicker), in
+  /// which case the camera may hoist constant_ambient_xyz() out of the
+  /// per-row integral.
+  [[nodiscard]] bool ambient_is_constant() const noexcept { return !has_flicker_; }
+
+  /// The flicker-free ambient radiance (XYZ).
+  [[nodiscard]] util::Vec3 constant_ambient_xyz() const noexcept {
+    return ambient_base_xyz_;
+  }
+
+  /// Mean ambient radiance (XYZ) over the exposure window [t0, t1],
+  /// including AC flicker when configured.
+  [[nodiscard]] util::Vec3 ambient_xyz(double t0, double t1) const noexcept;
+
+ private:
+  ChannelSpec spec_;
+  std::uint64_t seed_ = 0;
+  double attenuation_gain_ = 1.0;
+  util::Vec3 ambient_base_xyz_{};
+  bool has_occlusion_ = false;
+  bool has_flicker_ = false;
+};
+
+}  // namespace colorbars::channel

@@ -33,6 +33,8 @@
 #include "colorbars/flicker/bloch.hpp"        // flicker perception model
 #include "colorbars/flicker/requirement.hpp"  // Fig. 3b solver
 
+#include "colorbars/channel/channel.hpp"  // optical channel (radiance stages)
+
 #include "colorbars/camera/image.hpp"    // frame containers
 #include "colorbars/camera/profile.hpp"  // device models
 #include "colorbars/camera/bayer.hpp"    // CFA mosaic/demosaic
@@ -41,6 +43,8 @@
 
 #include "colorbars/pipeline/buffer_pool.hpp"  // recycled frame/scratch buffers
 #include "colorbars/pipeline/pipeline.hpp"     // streaming source/stage/sink
+
+#include "colorbars/channel/stages.hpp"  // frame-domain channel impairments
 
 #include "colorbars/rx/band_extractor.hpp"     // frame -> slot observations
 #include "colorbars/rx/calibration_store.hpp"  // references + classifier

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "colorbars/camera/camera.hpp"
+#include "colorbars/channel/channel.hpp"
 #include "colorbars/rx/receiver.hpp"
 #include "colorbars/tx/transmitter.hpp"
 
@@ -28,7 +29,13 @@ struct LinkConfig {
   /// §5 example (20% illumination symbols).
   double illumination_ratio = 0.8;
   camera::SensorProfile profile = camera::nexus5_profile();
-  camera::SceneConfig scene{};
+  /// The optical channel between LED and sensor (distance, ambient,
+  /// occlusion, frame-domain impairments). The default is the identity
+  /// close-range channel — byte-identical to the pre-channel link.
+  /// Validated when a simulator run constructs the channel; stochastic
+  /// stage streams derive from each run's camera seed, so results stay
+  /// byte-identical at every thread count.
+  channel::ChannelSpec channel{};
   double calibration_rate_hz = 5.0;
   /// Receiver matching/classification tuning (ablation knob: matching
   /// space, thresholds).

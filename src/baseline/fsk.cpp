@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "colorbars/runtime/seed.hpp"
 #include "colorbars/rx/band_extractor.hpp"
 #include "colorbars/util/rng.hpp"
 
@@ -74,7 +75,7 @@ std::vector<int> fsk_demodulate(const std::vector<camera::Frame>& frames,
 }
 
 FskRunResult fsk_run(const FskConfig& config, const camera::SensorProfile& profile,
-                     const camera::SceneConfig& scene, int symbol_count,
+                     const channel::ChannelSpec& channel_spec, int symbol_count,
                      std::uint64_t seed) {
   util::Xoshiro256 rng(seed);
   std::vector<int> symbols(static_cast<std::size_t>(symbol_count));
@@ -83,7 +84,14 @@ FskRunResult fsk_run(const FskConfig& config, const camera::SensorProfile& profi
   }
 
   const led::EmissionTrace trace = fsk_modulate(symbols, config);
-  camera::RollingShutterCamera camera(profile, scene, rng());
+  // Channel streams derive from the camera seed (one RNG draw, as
+  // before the channel refactor — identity specs stay byte-identical).
+  const std::uint64_t camera_seed = rng();
+  camera::RollingShutterCamera camera(
+      profile,
+      channel::OpticalChannel(channel_spec,
+                              runtime::derive_stream_seed(camera_seed, 0x0cc10ca1)),
+      camera_seed);
   // Align frame capture with dwell boundaries, as the synchronized
   // baselines do (RollingLight handles the unsynchronized case with
   // extra overhead that only lowers its rate further).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "colorbars/runtime/seed.hpp"
 #include "colorbars/rx/band_extractor.hpp"
 #include "colorbars/util/rng.hpp"
 
@@ -48,13 +49,21 @@ OokDecodeResult ook_demodulate(const std::vector<camera::Frame>& frames,
 }
 
 OokRunResult ook_run(const OokConfig& config, const camera::SensorProfile& profile,
-                     const camera::SceneConfig& scene, int bit_count, std::uint64_t seed) {
+                     const channel::ChannelSpec& channel_spec, int bit_count,
+                     std::uint64_t seed) {
   util::Xoshiro256 rng(seed);
   std::vector<std::uint8_t> bits(static_cast<std::size_t>(bit_count));
   for (auto& bit : bits) bit = static_cast<std::uint8_t>(rng.below(2));
 
   const led::EmissionTrace trace = ook_modulate(bits, config);
-  camera::RollingShutterCamera camera(profile, scene, rng());
+  // Channel streams derive from the camera seed (one RNG draw, as
+  // before the channel refactor — identity specs stay byte-identical).
+  const std::uint64_t camera_seed = rng();
+  camera::RollingShutterCamera camera(
+      profile,
+      channel::OpticalChannel(channel_spec,
+                              runtime::derive_stream_seed(camera_seed, 0x0cc10ca1)),
+      camera_seed);
   const std::vector<camera::Frame> frames = camera.capture_video(trace);
   const OokDecodeResult decoded = ook_demodulate(frames, config);
 

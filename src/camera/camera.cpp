@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "colorbars/camera/bayer.hpp"
-#include "colorbars/color/cie.hpp"
 #include "colorbars/color/lut.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
@@ -14,15 +13,16 @@ namespace colorbars::camera {
 
 using util::Vec3;
 
-RollingShutterCamera::RollingShutterCamera(SensorProfile profile, SceneConfig scene,
+RollingShutterCamera::RollingShutterCamera(SensorProfile profile,
+                                           channel::OpticalChannel optical_channel,
                                            std::uint64_t noise_seed)
-    : profile_(std::move(profile)), scene_(scene), rng_(noise_seed) {
+    : profile_(std::move(profile)), channel_(std::move(optical_channel)), rng_(noise_seed) {
   if (profile_.rows <= 0 || profile_.columns <= 0 || profile_.fps <= 0.0 ||
       profile_.inter_frame_loss_ratio < 0.0 || profile_.inter_frame_loss_ratio >= 1.0) {
     throw std::invalid_argument("RollingShutterCamera: invalid sensor profile");
   }
-  ambient_sensor_ =
-      profile_.xyz_to_sensor_rgb * color::xyy_to_xyz(color::kD65, scene_.ambient_level);
+  ambient_constant_ = channel_.ambient_is_constant();
+  ambient_sensor_ = profile_.xyz_to_sensor_rgb * channel_.constant_ambient_xyz();
   vignette_row2_.resize(static_cast<std::size_t>(profile_.rows));
   for (int r = 0; r < profile_.rows; ++r) {
     const double dr = (r - 0.5 * (profile_.rows - 1)) / (0.5 * profile_.rows);
@@ -39,7 +39,10 @@ ExposureSettings RollingShutterCamera::auto_exposure(const Vec3& mean_radiance) 
   // Controller: pick the exposure that puts the mean green response at
   // the target, at base ISO; raise ISO only when the exposure ceiling is
   // reached (standard phone AE priority order).
-  const Vec3 sensor = profile_.xyz_to_sensor_rgb * (mean_radiance * scene_.signal_scale);
+  // AE meters the channel's static attenuation only — a phone's AE
+  // converges on the steady scene, not a transient occlusion burst.
+  const Vec3 sensor =
+      profile_.xyz_to_sensor_rgb * (mean_radiance * channel_.attenuation_gain());
   const double mean_green = std::max(sensor.y, 1e-6);
 
   ExposureSettings settings;
@@ -71,12 +74,18 @@ double RollingShutterCamera::vignette_gain(int row, int column) const noexcept {
 
 Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double read_time_s,
                                       const ExposureSettings& settings) const noexcept {
-  // Exposure window ends at the scanline's readout instant. The D65
-  // ambient term is constant across rows and frames, so its sensor
-  // response is precomputed once at construction.
-  const Vec3 led_xyz =
-      trace.average(read_time_s - settings.exposure_s, read_time_s) * scene_.signal_scale;
-  const Vec3 sensor = profile_.xyz_to_sensor_rgb * led_xyz + ambient_sensor_;
+  // Exposure window ends at the scanline's readout instant. A
+  // time-invariant ambient term is constant across rows and frames, so
+  // its sensor response is precomputed once at construction; only a
+  // flickering channel pays the per-row ambient evaluation.
+  const double window_start_s = read_time_s - settings.exposure_s;
+  const Vec3 led_xyz = trace.average(window_start_s, read_time_s) *
+                       channel_.signal_gain(window_start_s, read_time_s);
+  const Vec3 ambient_sensor =
+      ambient_constant_ ? ambient_sensor_
+                        : profile_.xyz_to_sensor_rgb *
+                              channel_.ambient_xyz(window_start_s, read_time_s);
+  const Vec3 sensor = profile_.xyz_to_sensor_rgb * led_xyz + ambient_sensor;
   const double gain =
       profile_.sensitivity * (settings.iso / 100.0) * (settings.exposure_s * 1000.0);
   // CFA responses are non-negative; a strongly skewed matrix could go

@@ -1,0 +1,125 @@
+#include "colorbars/channel/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "colorbars/runtime/seed.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::channel {
+
+using util::Vec3;
+
+void ChannelSpec::validate() const {
+  // `!(x op y)` rather than the negated comparison so NaN fails too.
+  if (!(distance.distance_m > 0.0) || !(distance.reference_distance_m > 0.0)) {
+    throw std::invalid_argument("ChannelSpec: distances must be positive meters");
+  }
+  if (!(ambient.level >= 0.0) || !(ambient.chromaticity.y > 0.0)) {
+    throw std::invalid_argument(
+        "ChannelSpec: ambient level must be >= 0 and chromaticity y > 0");
+  }
+  if (!(flicker.frequency_hz >= 0.0) || !(flicker.modulation_depth >= 0.0) ||
+      !(flicker.modulation_depth < 1.0) || !std::isfinite(flicker.phase_rad)) {
+    throw std::invalid_argument(
+        "ChannelSpec: flicker frequency must be >= 0, depth in [0, 1), phase finite");
+  }
+  if (!(occlusion.rate_hz >= 0.0) ||
+      (occlusion.rate_hz > 0.0 && !(occlusion.mean_duration_s > 0.0)) ||
+      !(occlusion.transmission >= 0.0) || !(occlusion.transmission <= 1.0)) {
+    throw std::invalid_argument(
+        "ChannelSpec: occlusion rate must be >= 0 (with positive mean duration), "
+        "transmission in [0, 1]");
+  }
+  if (!(frame.drop_probability >= 0.0) || !(frame.drop_probability < 1.0) ||
+      !(frame.gain_wobble_sigma >= 0.0) || !(frame.gain_wobble_sigma <= 0.5)) {
+    throw std::invalid_argument(
+        "ChannelSpec: drop probability must be in [0, 1), gain wobble sigma in [0, 0.5]");
+  }
+}
+
+OpticalChannel::OpticalChannel(const ChannelSpec& spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {
+  spec_.validate();
+  attenuation_gain_ = spec_.distance.gain();
+  ambient_base_xyz_ =
+      color::xyy_to_xyz(spec_.ambient.chromaticity, spec_.ambient.level);
+  has_occlusion_ = spec_.occlusion.rate_hz > 0.0;
+  has_flicker_ =
+      spec_.flicker.frequency_hz > 0.0 && spec_.flicker.modulation_depth > 0.0;
+}
+
+namespace {
+
+/// One occlusion burst inside a time bucket: [start, end) in absolute
+/// seconds, with end clamped to the bucket boundary.
+struct Burst {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The burst of bucket `bucket` — a pure function of (seed, bucket), so
+/// every thread and every capture path sees the same occlusion
+/// schedule. Exponential durations truncated at the bucket boundary.
+Burst bucket_burst(std::uint64_t seed, std::int64_t bucket, double period,
+                   double mean_duration_s) {
+  util::Xoshiro256 rng(
+      runtime::derive_stream_seed(seed, static_cast<std::uint64_t>(bucket)));
+  const double bucket_start = static_cast<double>(bucket) * period;
+  Burst burst;
+  burst.start = bucket_start + rng.uniform() * period;
+  // -log1p(-u) is exponential(1); u < 1 always, so the draw is finite.
+  const double duration = -mean_duration_s * std::log1p(-rng.uniform());
+  burst.end = std::min(burst.start + duration, bucket_start + period);
+  return burst;
+}
+
+}  // namespace
+
+double OpticalChannel::occlusion_gain(double t0, double t1) const noexcept {
+  if (!has_occlusion_) return 1.0;
+  const double period = 1.0 / spec_.occlusion.rate_hz;
+  if (!(t1 > t0)) {
+    // Degenerate (instantaneous) window: point-sample t0.
+    const auto bucket = static_cast<std::int64_t>(std::floor(t0 / period));
+    const Burst burst = bucket_burst(seed_, bucket, period, spec_.occlusion.mean_duration_s);
+    const bool blocked = t0 >= burst.start && t0 < burst.end;
+    return blocked ? spec_.occlusion.transmission : 1.0;
+  }
+  const auto first = static_cast<std::int64_t>(std::floor(t0 / period));
+  const auto last = static_cast<std::int64_t>(std::floor(t1 / period));
+  double blocked_s = 0.0;
+  for (std::int64_t bucket = first; bucket <= last; ++bucket) {
+    const Burst burst = bucket_burst(seed_, bucket, period, spec_.occlusion.mean_duration_s);
+    blocked_s += std::max(0.0, std::min(t1, burst.end) - std::max(t0, burst.start));
+  }
+  const double blocked_fraction = std::clamp(blocked_s / (t1 - t0), 0.0, 1.0);
+  return 1.0 - blocked_fraction * (1.0 - spec_.occlusion.transmission);
+}
+
+double OpticalChannel::signal_gain(double t0, double t1) const noexcept {
+  // The occlusion-free path multiplies by exactly attenuation_gain_, so
+  // the identity channel (gain 1.0) leaves the exposure integral
+  // bit-identical to the pre-channel code.
+  if (!has_occlusion_) return attenuation_gain_;
+  return attenuation_gain_ * occlusion_gain(t0, t1);
+}
+
+Vec3 OpticalChannel::ambient_xyz(double t0, double t1) const noexcept {
+  if (!has_flicker_) return ambient_base_xyz_;
+  const double w = 2.0 * 3.14159265358979323846 * spec_.flicker.frequency_hz;
+  double ripple;
+  if (t1 > t0) {
+    // Exact windowed mean of cos(w t + phase) over [t0, t1].
+    ripple = (std::sin(w * t1 + spec_.flicker.phase_rad) -
+              std::sin(w * t0 + spec_.flicker.phase_rad)) /
+             (w * (t1 - t0));
+  } else {
+    ripple = std::cos(w * t0 + spec_.flicker.phase_rad);
+  }
+  // depth < 1 keeps the factor strictly positive even at full trough.
+  return ambient_base_xyz_ * (1.0 + spec_.flicker.modulation_depth * ripple);
+}
+
+}  // namespace colorbars::channel

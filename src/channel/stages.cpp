@@ -1,0 +1,81 @@
+#include "colorbars/channel/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "colorbars/runtime/seed.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars::channel {
+
+namespace {
+
+/// Stream indices of the per-stage sub-seeds derived from the chain
+/// seed (stable constants: reordering them would silently reshuffle
+/// every impaired capture).
+constexpr std::uint64_t kDropStream = 1;
+constexpr std::uint64_t kWobbleStream = 2;
+
+std::uint64_t frame_stream(std::uint64_t seed, int frame_index) {
+  return runtime::derive_stream_seed(seed, static_cast<std::uint64_t>(frame_index));
+}
+
+}  // namespace
+
+FrameDropStage::FrameDropStage(double drop_probability, std::uint64_t seed)
+    : probability_(drop_probability), seed_(seed) {
+  if (!(drop_probability >= 0.0) || !(drop_probability < 1.0)) {
+    throw std::invalid_argument("FrameDropStage: probability must be in [0, 1)");
+  }
+}
+
+bool FrameDropStage::process(camera::Frame& frame) {
+  util::Xoshiro256 rng(frame_stream(seed_, frame.frame_index));
+  if (!rng.chance(probability_)) return true;
+  ++dropped_;
+  return false;
+}
+
+GainWobbleStage::GainWobbleStage(double sigma, std::uint64_t seed)
+    : sigma_(sigma), seed_(seed) {
+  if (!(sigma >= 0.0) || !(sigma <= 0.5)) {
+    throw std::invalid_argument("GainWobbleStage: sigma must be in [0, 0.5]");
+  }
+}
+
+double GainWobbleStage::gain_for(int frame_index) const noexcept {
+  util::Xoshiro256 rng(frame_stream(seed_, frame_index));
+  return std::clamp(rng.normal(1.0, sigma_), 0.5, 1.5);
+}
+
+bool GainWobbleStage::process(camera::Frame& frame) {
+  const double gain = gain_for(frame.frame_index);
+  for (auto& pixel : frame.pixels) {
+    const auto scale = [gain](std::uint8_t value) {
+      const double scaled = std::lround(static_cast<double>(value) * gain);
+      return static_cast<std::uint8_t>(std::clamp(scaled, 0.0, 255.0));
+    };
+    pixel.r = scale(pixel.r);
+    pixel.g = scale(pixel.g);
+    pixel.b = scale(pixel.b);
+  }
+  return true;
+}
+
+StageChain::StageChain(const ChannelSpec& spec, std::uint64_t seed) {
+  if (spec.frame.drop_probability > 0.0) {
+    owned_.push_back(std::make_unique<FrameDropStage>(
+        spec.frame.drop_probability,
+        runtime::derive_stream_seed(seed, kDropStream)));
+  }
+  if (spec.frame.gain_wobble_sigma > 0.0) {
+    owned_.push_back(std::make_unique<GainWobbleStage>(
+        spec.frame.gain_wobble_sigma,
+        runtime::derive_stream_seed(seed, kWobbleStream)));
+  }
+  raw_.reserve(owned_.size());
+  for (const auto& stage : owned_) raw_.push_back(stage.get());
+}
+
+}  // namespace colorbars::channel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "colorbars/channel/stages.hpp"
 #include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
@@ -91,23 +92,51 @@ rx::ReceiverConfig LinkConfig::receiver_config() const {
 }
 
 LinkSimulator::LinkSimulator(LinkConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {}
+    : config_(std::move(config)), rng_(config_.seed) {
+  // Fail at construction, not at the first run_* call deep inside a
+  // trial batch (mirrors ExposureSettings::validate).
+  config_.channel.validate();
+}
 
 namespace {
 
+/// Sub-stream indices of the channel's stochastic stages, derived from
+/// the run's camera seed. Deriving (instead of drawing fresh values
+/// from the simulator RNG) keeps the member-RNG draw sequence identical
+/// to the pre-channel code, so identity-channel runs reproduce the old
+/// results byte for byte.
+constexpr std::uint64_t kOpticalStream = 0x0cc10ca1;
+constexpr std::uint64_t kFrameStageStream = 0x57a9e5;
+
+/// One capture's camera + channel, all seeded from a single simulator
+/// RNG draw.
+camera::RollingShutterCamera make_camera(const LinkConfig& config,
+                                         std::uint64_t camera_seed) {
+  return {config.profile,
+          channel::OpticalChannel(
+              config.channel, runtime::derive_stream_seed(camera_seed, kOpticalStream)),
+          camera_seed};
+}
+
+channel::StageChain make_stages(const LinkConfig& config, std::uint64_t camera_seed) {
+  return {config.channel, runtime::derive_stream_seed(camera_seed, kFrameStageStream)};
+}
+
 /// Streams one capture through the frame pipeline into `sink`: at most
 /// `lookahead` frames (plus in-flight render scratch) are resident,
-/// regardless of the trace duration.
+/// regardless of the trace duration. `stages` is the channel's
+/// frame-domain impairment chain (empty for the identity channel).
 pipeline::PipelineStats stream_capture(camera::RollingShutterCamera& camera,
                                        const led::EmissionTrace& trace,
                                        double start_offset_s, int lookahead,
+                                       std::span<pipeline::FrameStage* const> stages,
                                        pipeline::FrameSink& sink) {
   pipeline::BufferPool pool;
   pipeline::SourceConfig source_config;
   source_config.lookahead = lookahead;
   source_config.start_offset_s = start_offset_s;
   pipeline::FrameSource source(camera, trace, pool, source_config);
-  return pipeline::run_pipeline(source, {}, sink);
+  return pipeline::run_pipeline(source, stages, sink);
 }
 
 /// Sink that gathers every frame's slot observations in arrival order,
@@ -140,20 +169,23 @@ LinkRunResult LinkSimulator::run_payload(std::span<const std::uint8_t> payload) 
   const tx::Transmitter transmitter(config_.transmitter_config());
   const tx::Transmission transmission = transmitter.transmit(payload);
 
-  camera::RollingShutterCamera camera(config_.profile, config_.scene, rng_());
+  const std::uint64_t camera_seed = rng_();
+  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
   // The receiver's capture starts at an arbitrary phase of the symbol
   // stream (a user raises the phone whenever) — this randomizes the
   // packet/gap alignment per run, exactly as in a field measurement.
   const double start_offset =
       rng_.uniform(0.0, config_.profile.frame_period_s());
 
-  // Stream the capture: frames flow camera → receiver through pooled
-  // buffers, with O(pipeline_lookahead) frames resident instead of the
-  // whole video. Packet-for-packet identical to materializing the
-  // capture and running the batch Receiver (rx_streaming_test).
+  // Stream the capture: frames flow camera → channel frame stages →
+  // receiver through pooled buffers, with O(pipeline_lookahead) frames
+  // resident instead of the whole video. Packet-for-packet identical to
+  // materializing the capture and running the batch Receiver
+  // (rx_streaming_test).
+  const channel::StageChain stages = make_stages(config_, camera_seed);
   rx::StreamingReceiver receiver(config_.receiver_config());
   (void)stream_capture(camera, transmission.trace, start_offset,
-                       config_.pipeline_lookahead, receiver);
+                       config_.pipeline_lookahead, stages.stages(), receiver);
 
   LinkRunResult result;
   result.report = receiver.take_report();
@@ -190,7 +222,8 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
   }
   const tx::Transmission transmission = transmitter.transmit_raw_symbols(symbols);
 
-  camera::RollingShutterCamera camera(config_.profile, config_.scene, rng_());
+  const std::uint64_t camera_seed = rng_();
+  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
   rx::Receiver receiver(config_.receiver_config());
 
   // Calibration phase: the paper's receivers run under a steady diet of
@@ -234,10 +267,11 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
       protocol::drives_of(combined_slots, transmitter.constellation()),
       config_.symbol_rate_hz);
 
+  const channel::StageChain stages = make_stages(config_, camera_seed);
   ObservationCollector collector(config_.symbol_rate_hz,
                                  receiver.config().extractor);
   (void)stream_capture(camera, combined_trace, /*start_offset_s=*/0.0,
-                       config_.pipeline_lookahead, collector);
+                       config_.pipeline_lookahead, stages.stages(), collector);
   const rx::SlotTimeline timeline = collector.timeline();
   // Absorb the calibration packets (and the raw transmission's own
   // preamble) before classifying the data slots.
@@ -296,11 +330,13 @@ ThroughputResult LinkSimulator::run_throughput(double duration_s) {
   const led::EmissionTrace trace = transmitter.led().emit(
       protocol::drives_of(slots, transmitter.constellation()), config_.symbol_rate_hz);
 
-  camera::RollingShutterCamera camera(config_.profile, config_.scene, rng_());
+  const std::uint64_t camera_seed = rng_();
+  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
+  const channel::StageChain stages = make_stages(config_, camera_seed);
   const rx::ReceiverConfig rx_config = config_.receiver_config();
   ObservationCollector collector(rx_config.symbol_rate_hz, rx_config.extractor);
   (void)stream_capture(camera, trace, /*start_offset_s=*/0.0,
-                       config_.pipeline_lookahead, collector);
+                       config_.pipeline_lookahead, stages.stages(), collector);
   const rx::SlotTimeline timeline = collector.timeline();
 
   ThroughputResult result;

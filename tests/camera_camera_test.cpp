@@ -19,10 +19,10 @@ led::EmissionTrace steady_white(double duration_s) {
 TEST(Camera, RejectsInvalidProfile) {
   SensorProfile bad = ideal_profile();
   bad.rows = 0;
-  EXPECT_THROW((void)RollingShutterCamera(bad, SceneConfig{}), std::invalid_argument);
+  EXPECT_THROW((void)RollingShutterCamera(bad, channel::OpticalChannel{}), std::invalid_argument);
   bad = ideal_profile();
   bad.inter_frame_loss_ratio = 1.0;
-  EXPECT_THROW((void)RollingShutterCamera(bad, SceneConfig{}), std::invalid_argument);
+  EXPECT_THROW((void)RollingShutterCamera(bad, channel::OpticalChannel{}), std::invalid_argument);
 }
 
 TEST(Camera, FrameHasProfileDimensionsAndTiming) {
@@ -37,7 +37,7 @@ TEST(Camera, FrameHasProfileDimensionsAndTiming) {
 TEST(Camera, VideoFrameCountMatchesDuration) {
   SensorProfile profile = ideal_profile();
   profile.frame_start_jitter_s = 0.0;
-  RollingShutterCamera camera(profile, SceneConfig{});
+  RollingShutterCamera camera(profile, channel::OpticalChannel{});
   const auto frames = camera.capture_video(steady_white(0.5));
   EXPECT_EQ(frames.size(), 15u);  // 0.5 s at 30 fps
   for (std::size_t i = 0; i < frames.size(); ++i) {
@@ -49,7 +49,7 @@ TEST(Camera, VideoFrameCountMatchesDuration) {
 TEST(Camera, FrameStartJitterStaysInsideGap) {
   SensorProfile profile = ideal_profile();
   profile.frame_start_jitter_s = 0.005;  // above the 0.8 * gap clamp
-  RollingShutterCamera camera(profile, SceneConfig{});
+  RollingShutterCamera camera(profile, channel::OpticalChannel{});
   const auto frames = camera.capture_video(steady_white(1.0));
   for (std::size_t i = 0; i < frames.size(); ++i) {
     const double offset = frames[i].start_time_s - i * profile.frame_period_s();

@@ -27,7 +27,7 @@ TEST(CameraInvariants, BrighterSceneGivesBrighterFrameAtFixedExposure) {
   SensorProfile profile = ideal_profile();
   double previous = -1.0;
   for (const double level : {0.02, 0.05, 0.1, 0.2, 0.4}) {
-    RollingShutterCamera camera(profile, SceneConfig{}, 42);
+    RollingShutterCamera camera(profile, channel::OpticalChannel{}, 42);
     camera.set_manual_exposure({1.0 / 2000.0, 100.0});
     const double brightness = mean_green(camera.capture_frame(dim_white(level), 0.05));
     EXPECT_GT(brightness, previous) << "level " << level;
@@ -39,9 +39,9 @@ TEST(CameraInvariants, MoreAmbientNeverDarkensTheFrame) {
   SensorProfile profile = ideal_profile();
   double previous = -1.0;
   for (const double ambient : {0.0, 0.005, 0.02, 0.05}) {
-    SceneConfig scene;
-    scene.ambient_level = ambient;
-    RollingShutterCamera camera(profile, scene, 42);
+    channel::ChannelSpec spec;
+    spec.ambient.level = ambient;
+    RollingShutterCamera camera(profile, channel::OpticalChannel(spec), 42);
     camera.set_manual_exposure({1.0 / 2000.0, 100.0});
     const double brightness = mean_green(camera.capture_frame(dim_white(0.1), 0.05));
     EXPECT_GE(brightness, previous - 0.5) << "ambient " << ambient;
@@ -50,7 +50,7 @@ TEST(CameraInvariants, MoreAmbientNeverDarkensTheFrame) {
 }
 
 TEST(CameraInvariants, AutoExposureIsMonotoneInSceneBrightness) {
-  RollingShutterCamera camera(ideal_profile(), SceneConfig{});
+  RollingShutterCamera camera(ideal_profile(), channel::OpticalChannel{});
   const led::TriLed led;
   double previous = 1e9;
   for (const double level : {0.05, 0.1, 0.3, 1.0, 3.0}) {
@@ -65,7 +65,7 @@ TEST(CameraInvariants, AutoExposureIsMonotoneInSceneBrightness) {
 
 TEST(CameraInvariants, FramesNeverOverlapInTime) {
   SensorProfile profile = nexus5_profile();
-  RollingShutterCamera camera(profile, SceneConfig{}, 7);
+  RollingShutterCamera camera(profile, channel::OpticalChannel{}, 7);
   const auto frames = camera.capture_video(dim_white(0.3));
   for (std::size_t i = 1; i < frames.size(); ++i) {
     const double previous_end =
@@ -76,14 +76,14 @@ TEST(CameraInvariants, FramesNeverOverlapInTime) {
 
 TEST(CameraInvariants, PixelValuesSaturateNotWrap) {
   // Gross overexposure must clip to 255, never wrap around.
-  RollingShutterCamera camera(ideal_profile(), SceneConfig{}, 3);
+  RollingShutterCamera camera(ideal_profile(), channel::OpticalChannel{}, 3);
   camera.set_manual_exposure({1.0 / 60.0, 3200.0});
   const Frame frame = camera.capture_frame(dim_white(1.0), 0.05);
   EXPECT_GE(frame.at(frame.rows / 2, frame.columns / 2).g, 250);
 }
 
 TEST(CameraInvariants, ExposureNeverExceedsProfileLimits) {
-  RollingShutterCamera camera(iphone5s_profile(), SceneConfig{});
+  RollingShutterCamera camera(iphone5s_profile(), channel::OpticalChannel{});
   const led::TriLed led;
   for (const double level : {1e-6, 1e-3, 0.1, 10.0}) {
     const ExposureSettings settings =

@@ -167,7 +167,7 @@ TEST(Determinism, StreamedPipelineMatchesBufferedCaptureAcrossThreadCounts) {
   // Streamed path: FrameSource prefetch ring -> StreamingReceiver sink,
   // O(lookahead) frames resident.
   auto streamed = [&] {
-    camera::RollingShutterCamera camera(link.profile, link.scene, 0xfee1);
+    camera::RollingShutterCamera camera(link.profile, channel::OpticalChannel(link.channel), 0xfee1);
     pipeline::BufferPool pool;
     pipeline::SourceConfig config;
     config.lookahead = 5;
@@ -179,7 +179,7 @@ TEST(Determinism, StreamedPipelineMatchesBufferedCaptureAcrossThreadCounts) {
   };
   // Buffered path: the retained capture_video + batch Receiver::process.
   auto buffered = [&] {
-    camera::RollingShutterCamera camera(link.profile, link.scene, 0xfee1);
+    camera::RollingShutterCamera camera(link.profile, channel::OpticalChannel(link.channel), 0xfee1);
     const std::vector<camera::Frame> frames =
         camera.capture_video(transmission.trace, start_offset);
     rx::Receiver receiver(link.receiver_config());
@@ -195,6 +195,37 @@ TEST(Determinism, StreamedPipelineMatchesBufferedCaptureAcrossThreadCounts) {
     EXPECT_EQ(reference, buffered()) << "buffered diverged at " << threads;
   }
   runtime::ThreadPool::set_shared_thread_count(0);
+}
+
+TEST(Determinism, ImpairedChannelIdenticalAcrossThreadCounts) {
+  // Every stochastic channel stage at once — distance attenuation,
+  // flickering ambient, occlusion bursts, frame drops, gain wobble —
+  // must still be a pure function of (seed, time/frame counter), so the
+  // full link run is byte-identical at any thread count.
+  auto run = [] {
+    core::LinkConfig config = small_link();
+    config.channel.distance.distance_m = 0.05;
+    config.channel.ambient.level = 0.02;
+    config.channel.flicker.frequency_hz = 100.0;
+    config.channel.flicker.modulation_depth = 0.4;
+    config.channel.occlusion.rate_hz = 3.0;
+    config.channel.occlusion.mean_duration_s = 0.02;
+    config.channel.frame.drop_probability = 0.1;
+    config.channel.frame.gain_wobble_sigma = 0.1;
+    core::LinkSimulator sim(config);
+    const core::SerResult ser = sim.run_ser(600);
+    std::vector<std::uint8_t> bytes(200);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    const core::LinkRunResult payload = sim.run_payload(bytes);
+    std::vector<long long> flat{ser.symbols_sent, ser.symbols_observed,
+                                ser.symbol_errors,
+                                static_cast<long long>(payload.recovered_bytes)};
+    for (std::uint8_t byte : payload.report.payload) flat.push_back(byte);
+    return flat;
+  };
+  expect_same_at_all_thread_counts(run);
 }
 
 TEST(BatchTrials, StatsAggregateTrials) {

@@ -1,0 +1,61 @@
+// One-off: prints the FNV-1a 64 hash of a reference capture_video run
+// (pre-refactor), used to freeze the golden byte-equality constant in
+// channel_test.cpp.
+
+#include <cstdint>
+#include <cstdio>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/csk/modulation.hpp"
+#include "colorbars/protocol/symbols.hpp"
+#include "colorbars/led/tri_led.hpp"
+#include "colorbars/util/rng.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+led::EmissionTrace random_symbol_trace(double symbol_rate_hz, int symbols) {
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  const led::TriLed led;
+  util::Xoshiro256 rng(0x901d);
+  std::vector<protocol::ChannelSymbol> slots;
+  for (int i = 0; i < symbols; ++i) {
+    slots.push_back(protocol::ChannelSymbol::data(static_cast<int>(rng.below(8))));
+  }
+  return led.emit(protocol::drives_of(slots, constellation), symbol_rate_hz);
+}
+
+}  // namespace
+
+int main() {
+  const led::EmissionTrace trace = random_symbol_trace(2000.0, 500);  // 0.25 s
+  for (const auto& profile :
+       {camera::nexus5_profile(), camera::iphone5s_profile(), camera::ideal_profile()}) {
+    camera::RollingShutterCamera camera(profile, {}, 0x901d);
+    const auto frames = camera.capture_video(trace, 0.004);
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const auto& frame : frames) {
+      hash = fnv1a(hash, static_cast<std::uint64_t>(frame.frame_index));
+      hash = fnv1a(hash, static_cast<std::uint64_t>(frame.start_time_s * 1e12));
+      hash = fnv1a(hash, static_cast<std::uint64_t>(frame.exposure_s * 1e12));
+      hash = fnv1a(hash, static_cast<std::uint64_t>(frame.iso * 1e3));
+      for (const auto& pixel : frame.pixels) {
+        hash = fnv1a(hash, static_cast<std::uint64_t>(pixel.r) |
+                               (static_cast<std::uint64_t>(pixel.g) << 8) |
+                               (static_cast<std::uint64_t>(pixel.b) << 16));
+      }
+    }
+    std::printf("%s: frames=%zu hash=0x%016llx\n", profile.name.c_str(), frames.size(),
+                static_cast<unsigned long long>(hash));
+  }
+  return 0;
+}

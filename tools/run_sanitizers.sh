@@ -6,7 +6,8 @@
 #      streaming-pipeline tests, which exercise every concurrent code
 #      path (parallel_for regions, shared-pool resizing, concurrent
 #      const reads of EmissionTrace prefix sums during frame synthesis,
-#      BufferPool acquire/release from prefetch refills).
+#      BufferPool acquire/release from prefetch refills, concurrent
+#      const OpticalChannel queries from parallel row integrals).
 #
 # The two instrumentations are mutually exclusive, so each gets its own
 # build tree under build-asan/ and build-tsan/. Usage:
@@ -21,8 +22,8 @@ jobs="${1:-$(nproc)}"
 # TSan must cover the concurrency surface: if a rename/move ever drops
 # one of these suites from the binary, fail the run instead of silently
 # shrinking coverage.
-tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline)
-tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*'
+tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages)
+tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*'
 
 build_suite() {
   local build_dir="$1" cmake_flag="$2"
