@@ -6,8 +6,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "colorbars/csk/constellation.hpp"
@@ -15,10 +18,18 @@
 namespace colorbars::bench {
 
 /// Canonical machine-readable output path of a bench: every bench
-/// binary mirrors its table into BENCH_<name>.json in the working
-/// directory, so the perf trajectory is diffable across commits.
+/// binary mirrors its table into BENCH_<name>.json, so the perf
+/// trajectory is diffable across commits. The file lands in the working
+/// directory unless COLORBARS_BENCH_DIR is set, in which case that
+/// directory is created (if needed) and used instead — CI sets it to
+/// collect every bench's JSON into one artifact directory.
 inline std::string bench_json_path(const std::string& name) {
-  return "BENCH_" + name + ".json";
+  const std::string file = "BENCH_" + name + ".json";
+  const char* dir = std::getenv("COLORBARS_BENCH_DIR");
+  if (dir == nullptr || *dir == '\0') return file;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open reports failure
+  return (std::filesystem::path(dir) / file).string();
 }
 
 inline std::string json_escape(const std::string& text) {

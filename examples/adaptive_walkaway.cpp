@@ -1,0 +1,88 @@
+// The closed-loop link adaptation subsystem in its natural habitat: a
+// phone starts 5 cm from a ceiling luminaire, steps back, and ends up
+// a meter away. A link frozen at the paper's peak rung (CSK16 @ 4 kHz)
+// posts its headline goodput up close and then dies — past the ISI
+// cliff auto-exposure stretches the shutter beyond the symbol duration
+// and nothing decodes. The adaptive link watches the same decode
+// telemetry the receiver already produces (RS corrections, ΔE decision
+// margins, header losses), and walks down the rate ladder instead,
+// keeping bits flowing at every distance.
+//
+// Build & run:   ./build/examples/adaptive_walkaway
+
+#include <cstdio>
+#include <string>
+
+#include "colorbars/adapt/simulator.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+adapt::AdaptiveRunResult run(bool adaptive, const adapt::Trajectory& trajectory) {
+  adapt::AdaptiveLinkConfig config;
+  config.adaptation_enabled = adaptive;
+  // One command interval of uplink latency: the phone reports over a
+  // real out-of-band channel (BLE / Wi-Fi), not instantaneously.
+  config.feedback.delay_intervals = 1;
+  adapt::AdaptiveLinkSimulator simulator(config, trajectory);
+  return simulator.run();
+}
+
+void print_story(const char* title, const adapt::AdaptiveRunResult& result,
+                 const adapt::AdaptiveLinkConfig& config,
+                 const adapt::Trajectory& trajectory) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-9s %-22s %-12s %8s %9s %9s\n", "t (s)", "segment", "rung",
+              "pkts ok", "bytes", "success");
+  int last_segment = -1;
+  for (const adapt::IntervalRecord& record : result.intervals) {
+    const bool new_segment = record.segment != last_segment;
+    last_segment = record.segment;
+    std::printf("  %-9.2f %-22s %-12s %4d/%-3d %9lld %8.0f%%%s\n",
+                record.start_time_s,
+                new_segment
+                    ? trajectory.segments[static_cast<std::size_t>(record.segment)]
+                          .name.c_str()
+                    : "",
+                adapt::rung_name(config.ladder[static_cast<std::size_t>(record.rung)])
+                    .c_str(),
+                record.packets_ok, record.packets_sent, record.recovered_bytes,
+                100.0 * record.sample.success(),
+                record.command_sent
+                    ? (record.command_lost ? "  -> command lost" : "  -> switch")
+                    : "");
+  }
+  std::printf("  total: %.2f s air time, %lld bytes recovered, %.2f kbps goodput, "
+              "%d downshifts / %d upshifts\n",
+              result.total_time_s, result.recovered_bytes,
+              result.goodput_bps() / 1000.0, result.downshifts, result.upshifts);
+}
+
+}  // namespace
+
+int main() {
+  const adapt::Trajectory trajectory = adapt::walkaway_trajectory();
+  std::printf("Walk-away: %.0f s trajectory, %zu segments\n",
+              trajectory.total_duration_s(), trajectory.segments.size());
+  for (const adapt::TrajectorySegment& segment : trajectory.segments) {
+    std::printf("  %-22s %4.1f s at %5.2f m\n", segment.name.c_str(),
+                segment.duration_s, segment.channel.distance.distance_m);
+  }
+
+  const adapt::AdaptiveLinkConfig config;  // for rung names only
+  const adapt::AdaptiveRunResult fixed = run(/*adaptive=*/false, trajectory);
+  const adapt::AdaptiveRunResult adaptive = run(/*adaptive=*/true, trajectory);
+
+  print_story("Fixed CSK16 @ 4 kHz (the paper's peak rung):", fixed, config,
+              trajectory);
+  print_story("Adaptive (closed loop, 1-interval feedback delay):", adaptive, config,
+              trajectory);
+
+  std::printf("\nAdaptive recovered %.1fx the bytes of the fixed peak rung.\n",
+              fixed.recovered_bytes > 0
+                  ? static_cast<double>(adaptive.recovered_bytes) /
+                        static_cast<double>(fixed.recovered_bytes)
+                  : 0.0);
+  return 0;
+}

@@ -58,3 +58,8 @@
 #include "colorbars/baseline/fsk.hpp"  // FSK baseline
 
 #include "colorbars/core/link.hpp"  // end-to-end link simulator
+
+#include "colorbars/adapt/controller.hpp"  // rate ladder + AIMD controller
+#include "colorbars/adapt/feedback.hpp"    // lossy delayed uplink model
+#include "colorbars/adapt/monitor.hpp"     // smoothed link-quality estimate
+#include "colorbars/adapt/simulator.hpp"   // closed-loop adaptive link

@@ -33,6 +33,17 @@ struct SourceConfig {
   /// Capture start offset into the trace (same meaning as
   /// capture_video's start_offset_s).
   double start_offset_s = 0.0;
+  /// Added to every emitted frame's start_time_s after rendering (the
+  /// render itself still integrates the trace at trace-local time).
+  /// Lets a consumer splice multiple per-segment captures onto one
+  /// continuous stream clock — link adaptation epochs place each
+  /// control interval's capture at its position on the epoch's symbol
+  /// grid. 0 leaves frames on the trace-local clock, unchanged.
+  double time_shift_s = 0.0;
+  /// Added to every emitted frame's frame_index after rendering, so a
+  /// spliced stream keeps a monotonic frame counter. Per-frame render
+  /// randomness still derives from the plan-local index.
+  int frame_index_base = 0;
 };
 
 /// A channel-impairment hook between camera and receiver. Stages may

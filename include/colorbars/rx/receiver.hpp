@@ -69,6 +69,9 @@ struct PacketRecord {
   bool ok = false;
   PacketFailure failure = PacketFailure::kNone;
   long long start_slot = 0;
+  /// Reconfiguration epoch the packet decoded under (always 0 for the
+  /// batch Receiver; StreamingReceiver stamps its current epoch).
+  int epoch = 0;
   std::vector<std::uint8_t> payload;  ///< decoded message bytes (data packets)
   int corrected_errors = 0;
   int corrected_erasures = 0;
@@ -85,6 +88,13 @@ struct ReceiverReport {
   int calibration_packets = 0;
   int data_packets_ok = 0;
   int data_packets_failed = 0;
+  /// Sum/count of per-slot ΔE decision margins (runner-up minus best
+  /// reference distance) over every classified payload slot — the
+  /// confidence signal adapt::LinkMonitor folds into its link-quality
+  /// estimate. Accumulated only in the payload loop, which runs exactly
+  /// once per committed packet, so streamed and batch parses agree.
+  double decision_margin_sum = 0.0;
+  long long decision_margin_count = 0;
 };
 
 /// Assembles a dense slot timeline from observations in arrival order:
@@ -168,6 +178,12 @@ class Receiver {
   /// restricted to data symbols (used for size fields and payload slots,
   /// where the schedule says the slot cannot be white/off).
   [[nodiscard]] int classify_data(const SlotObservation& observation) const;
+
+  /// classify_data plus the decision margin: the runner-up reference
+  /// distance minus the best one (-1 when fewer than two references are
+  /// available, in which case the margin is not meaningful).
+  [[nodiscard]] int classify_data(const SlotObservation& observation,
+                                  double* margin_out) const;
 
  private:
   /// Observation state of one timeline slot.

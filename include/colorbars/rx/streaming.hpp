@@ -62,6 +62,7 @@ struct StreamingStats {
   double parse_time_s = 0.0;         ///< cumulative wall time inside drains
   long long last_drain_slots_scanned = 0;
   double last_drain_time_s = 0.0;
+  long long epoch_switches = 0;      ///< begin_epoch reconfigurations
   // Pipeline-side counters, populated by note_pipeline_stats when the
   // receiver consumes a pipeline::FrameSource run (zero otherwise).
   long long pool_frame_hits = 0;       ///< pooled frame buffers recycled
@@ -87,6 +88,19 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// Flushes everything, including packets near the end of the capture
   /// that poll() was still holding back. Call once, at end of stream.
   [[nodiscard]] std::vector<PacketRecord> finish();
+
+  /// Mid-stream reconfiguration (a link-adaptation rung change): flushes
+  /// the current epoch with end-of-stream semantics, replaces the inner
+  /// Receiver with one built from `config` — fresh calibration store,
+  /// fresh slot window, slot numbering restarting at the new epoch's
+  /// grid — and increments the epoch counter stamped on every packet
+  /// record decoded from then on. Aggregate report fields (payload,
+  /// packet counts, slot span) keep accumulating across epochs.
+  void begin_epoch(ReceiverConfig config);
+
+  /// Reconfiguration epochs started so far (0 until the first
+  /// begin_epoch call).
+  [[nodiscard]] int epoch() const noexcept { return epoch_; }
 
   // pipeline::FrameSink: consume() ingests and drains in one step (the
   // reported packets accumulate in report()); on_stream_end() flushes.
@@ -160,6 +174,11 @@ class StreamingReceiver : public pipeline::FrameSink {
   long long latest_slot_ = -1;
   long long observed_cells_ = 0;
   int frames_ingested_ = 0;
+  /// Current reconfiguration epoch, stamped on every record drained.
+  int epoch_ = 0;
+  /// Slot span accumulated by epochs already flushed (report_.slot_span
+  /// stays cumulative across begin_epoch).
+  long long span_base_ = 0;
   ReceiverReport report_;
   StreamingStats stats_;
 };

@@ -1,0 +1,40 @@
+#include "colorbars/adapt/feedback.hpp"
+
+#include <stdexcept>
+
+namespace colorbars::adapt {
+
+FeedbackLink::FeedbackLink(FeedbackConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.delay_intervals < 0) {
+    throw std::invalid_argument("FeedbackLink: delay_intervals must be >= 0");
+  }
+  if (!(config.loss_probability >= 0.0) || config.loss_probability > 1.0) {
+    throw std::invalid_argument("FeedbackLink: loss_probability must be in [0, 1]");
+  }
+}
+
+bool FeedbackLink::send(const RungCommand& command, long long now) {
+  ++sent_;
+  // Draw unconditionally so the loss stream stays aligned with the send
+  // count, not with the loss configuration.
+  const bool lost = rng_.uniform() < config_.loss_probability;
+  if (lost) {
+    ++lost_;
+    return false;
+  }
+  queue_.push_back({command, now + config_.delay_intervals});
+  return true;
+}
+
+std::vector<RungCommand> FeedbackLink::poll(long long now) {
+  std::vector<RungCommand> delivered;
+  while (!queue_.empty() && queue_.front().deliver_at <= now) {
+    delivered.push_back(queue_.front().command);
+    queue_.pop_front();
+    ++delivered_;
+  }
+  return delivered;
+}
+
+}  // namespace colorbars::adapt

@@ -1,0 +1,55 @@
+#include "colorbars/adapt/monitor.hpp"
+
+#include <stdexcept>
+
+namespace colorbars::adapt {
+
+LinkMonitor::LinkMonitor(MonitorConfig config) : config_(config) {
+  if (!(config.alpha > 0.0) || !(config.alpha <= 1.0)) {
+    throw std::invalid_argument("LinkMonitor: alpha must be in (0, 1]");
+  }
+}
+
+void LinkMonitor::observe(const LinkQualitySample& sample) {
+  const double alpha = config_.alpha;
+  // First sample initializes every estimate outright: blending against
+  // the optimistic defaults would make a dead first interval look
+  // half-healthy and slow the first downshift by a full interval.
+  const bool first = quality_.samples == 0;
+  auto blend = [&](double current, double value) {
+    return first ? value : current + alpha * (value - current);
+  };
+
+  quality_.packet_success = blend(quality_.packet_success, sample.success());
+  const double header_loss =
+      sample.packets_sent > 0 ? static_cast<double>(sample.header_losses) /
+                                    static_cast<double>(sample.packets_sent)
+                              : 0.0;
+  quality_.header_loss = blend(quality_.header_loss, header_loss);
+  const long long frames = sample.frames_streamed + sample.frames_dropped;
+  const double frame_drop =
+      frames > 0 ? static_cast<double>(sample.frames_dropped) /
+                       static_cast<double>(frames)
+                 : 0.0;
+  quality_.frame_drop = blend(quality_.frame_drop, frame_drop);
+  const double corrected =
+      sample.packets_decided > 0 ? static_cast<double>(sample.corrected_symbols) /
+                                       static_cast<double>(sample.packets_decided)
+                                 : 0.0;
+  quality_.corrected_per_packet = blend(quality_.corrected_per_packet, corrected);
+  // Margins exist only when payload slots actually classified: a dead
+  // interval must not drag the margin estimate toward zero (the success
+  // collapse already reports the death), so the margin EWMA skips
+  // sample-less intervals.
+  if (sample.margin_count > 0) {
+    quality_.margin = quality_.margin_valid
+                          ? quality_.margin + alpha * (sample.mean_margin() - quality_.margin)
+                          : sample.mean_margin();
+    quality_.margin_valid = true;
+  }
+  ++quality_.samples;
+}
+
+void LinkMonitor::reset() { quality_ = LinkQuality{}; }
+
+}  // namespace colorbars::adapt

@@ -35,8 +35,14 @@ void FrameSource::refill() {
   runtime::parallel_for(0, batch, 1, [&](std::int64_t lo, std::int64_t hi) {
     camera::RenderScratch scratch = pool_.acquire_scratch();
     for (std::int64_t i = lo; i < hi; ++i) {
-      camera_.render_planned_frame(trace_, plan_, base + static_cast<int>(i),
-                                   ring_[static_cast<std::size_t>(i)], scratch);
+      camera::Frame& frame = ring_[static_cast<std::size_t>(i)];
+      camera_.render_planned_frame(trace_, plan_, base + static_cast<int>(i), frame,
+                                   scratch);
+      // Re-stamp onto the consumer's stream clock (see SourceConfig);
+      // a pure post-render shift, so the rendered pixels are identical
+      // to the unshifted capture.
+      frame.start_time_s += config_.time_shift_s;
+      frame.frame_index += config_.frame_index_base;
     }
     pool_.release_scratch(std::move(scratch));
   });

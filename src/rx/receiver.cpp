@@ -1,6 +1,7 @@
 #include "colorbars/rx/receiver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace colorbars::rx {
@@ -81,16 +82,28 @@ SlotTimeline Receiver::collect(std::span<const camera::Frame> frames) const {
 }
 
 int Receiver::classify_data(const SlotObservation& observation) const {
+  return classify_data(observation, nullptr);
+}
+
+int Receiver::classify_data(const SlotObservation& observation,
+                            double* margin_out) const {
   int best_index = 0;
   double best_distance = std::numeric_limits<double>::infinity();
+  double second_distance = std::numeric_limits<double>::infinity();
   for (int i = 0; i < store_.symbol_count(); ++i) {
     const auto reference = store_.reference_color(i);
     if (!reference.has_value()) continue;
     const double d = store_.distance(observation, *reference);
     if (d < best_distance) {
+      second_distance = best_distance;
       best_distance = d;
       best_index = i;
+    } else if (d < second_distance) {
+      second_distance = d;
     }
+  }
+  if (margin_out != nullptr) {
+    *margin_out = std::isfinite(second_distance) ? second_distance - best_distance : -1.0;
   }
   return best_index;
 }
@@ -408,8 +421,13 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
         symbol_erased.push_back(true);
         ++record.erased_slots;
       } else {
-        symbol_indices.push_back(classify_data(*cell));
+        double margin = -1.0;
+        symbol_indices.push_back(classify_data(*cell, &margin));
         symbol_erased.push_back(false);
+        if (margin >= 0.0) {
+          report.decision_margin_sum += margin;
+          ++report.decision_margin_count;
+        }
       }
     }
 

@@ -120,7 +120,13 @@ std::size_t StreamingReceiver::drain(bool final_flush) {
   // with everything ingested so far (parse_from only appends packets and
   // scan counters).
   report_.slots_observed = observed_cells_;
-  report_.slot_span = latest_slot_ >= first_slot_ ? latest_slot_ - first_slot_ + 1 : 0;
+  report_.slot_span =
+      span_base_ + (latest_slot_ >= first_slot_ ? latest_slot_ - first_slot_ + 1 : 0);
+  // Stamp this drain's records with the current reconfiguration epoch so
+  // consumers can attribute them after a begin_epoch.
+  for (std::size_t i = first_new; i < report_.packets.size(); ++i) {
+    report_.packets[i].epoch = epoch_;
+  }
 
   // Evict everything the parse can never revisit: the resume point only
   // moves forward, so slots more than the tail behind it are dead.
@@ -148,6 +154,25 @@ std::vector<PacketRecord> StreamingReceiver::finish() {
   const std::size_t first_new = drain(/*final_flush=*/true);
   return {report_.packets.begin() + static_cast<std::ptrdiff_t>(first_new),
           report_.packets.end()};
+}
+
+void StreamingReceiver::begin_epoch(ReceiverConfig config) {
+  // Flush the old epoch with end-of-stream semantics: anything still
+  // held back decodes against the old calibration before it is lost.
+  (void)drain(/*final_flush=*/true);
+  receiver_ = Receiver(std::move(config));
+  // The new epoch's slot grid restarts: a rung change re-times every
+  // symbol, so old slot numbers are meaningless under the new rate.
+  window_ = SlotTimeline{};
+  window_valid_ = false;
+  resume_position_ = 0;
+  prescan_position_ = 0;
+  span_base_ += latest_slot_ >= first_slot_ ? latest_slot_ - first_slot_ + 1 : 0;
+  first_slot_ = 0;
+  latest_slot_ = -1;
+  ++epoch_;
+  ++stats_.epoch_switches;
+  stats_.window_slots = 0;
 }
 
 void StreamingReceiver::consume(const camera::Frame& frame) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "colorbars/adapt/simulator.hpp"
 #include "colorbars/core/link.hpp"
 #include "colorbars/csk/modulation.hpp"
 #include "colorbars/led/tri_led.hpp"
@@ -141,6 +142,7 @@ std::vector<long long> flatten_report(const rx::ReceiverReport& report) {
     flat.push_back(packet.ok ? 1 : 0);
     flat.push_back(static_cast<long long>(packet.failure));
     flat.push_back(packet.start_slot);
+    flat.push_back(packet.epoch);
     flat.push_back(packet.corrected_errors);
     flat.push_back(packet.corrected_erasures);
     flat.push_back(packet.erased_slots);
@@ -152,6 +154,8 @@ std::vector<long long> flatten_report(const rx::ReceiverReport& report) {
   flat.push_back(report.calibration_packets);
   flat.push_back(report.data_packets_ok);
   flat.push_back(report.data_packets_failed);
+  flat.push_back(static_cast<long long>(report.decision_margin_sum * 1e6));
+  flat.push_back(report.decision_margin_count);
   return flat;
 }
 
@@ -223,6 +227,59 @@ TEST(Determinism, ImpairedChannelIdenticalAcrossThreadCounts) {
                                 ser.symbol_errors,
                                 static_cast<long long>(payload.recovered_bytes)};
     for (std::uint8_t byte : payload.report.payload) flat.push_back(byte);
+    return flat;
+  };
+  expect_same_at_all_thread_counts(run);
+}
+
+TEST(Determinism, AdaptiveRunIdenticalAcrossThreadCounts) {
+  // The closed control loop is sequential; only frame rendering fans
+  // out. A whole adaptive run — rung switches, feedback delivery, epoch
+  // flushes, attribution — must therefore be byte-identical at any
+  // thread count.
+  auto run = [] {
+    adapt::Trajectory trajectory;
+    adapt::TrajectorySegment near;
+    near.name = "near";
+    near.duration_s = 1.0;
+    near.channel.distance.distance_m = 0.08;
+    near.channel.distance.reference_distance_m = 0.08;
+    adapt::TrajectorySegment far = near;
+    far.name = "far";
+    far.duration_s = 1.4;
+    far.channel.distance.distance_m = 0.13;
+    trajectory.segments = {near, far};
+
+    adapt::AdaptiveLinkConfig config;
+    config.profile = camera::ideal_profile();
+    config.feedback.delay_intervals = 1;
+    config.feedback.loss_probability = 0.3;  // exercise the loss stream too
+    adapt::AdaptiveLinkSimulator simulator(config, trajectory);
+    const adapt::AdaptiveRunResult result = simulator.run();
+
+    std::vector<long long> flat;
+    flat.push_back(result.recovered_bytes);
+    flat.push_back(result.payload_bytes);
+    flat.push_back(static_cast<long long>(result.total_time_s * 1e9));
+    flat.push_back(result.epochs);
+    flat.push_back(result.upshifts);
+    flat.push_back(result.downshifts);
+    flat.push_back(result.commands_sent);
+    flat.push_back(result.commands_lost);
+    flat.push_back(result.final_rung);
+    for (const adapt::IntervalRecord& record : result.intervals) {
+      flat.push_back(record.epoch);
+      flat.push_back(record.rung);
+      flat.push_back(record.recovered_bytes);
+      flat.push_back(record.packets_ok);
+      flat.push_back(record.packets_failed);
+      flat.push_back(record.header_losses);
+      flat.push_back(record.corrected_symbols);
+      flat.push_back(static_cast<long long>(record.sample.margin_sum * 1e6));
+      flat.push_back(record.desired_rung);
+      flat.push_back(record.command_sent ? 1 : 0);
+      flat.push_back(record.command_lost ? 1 : 0);
+    }
     return flat;
   };
   expect_same_at_all_thread_counts(run);

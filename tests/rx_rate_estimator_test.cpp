@@ -91,6 +91,33 @@ TEST(RateEstimator, NoFramesIsNotPlausible) {
   EXPECT_EQ(estimate.band_count, 0);
 }
 
+TEST(RateEstimator, ReestimatesAcrossMidStreamRateSwitch) {
+  // A link-adaptation rung change switches the symbol rate mid-stream
+  // (an epoch boundary in adapt/StreamingReceiver terms). The estimator
+  // is per-epoch by construction: run on each epoch's frames it must
+  // recover that epoch's rate, and the two estimates must be clearly
+  // distinct — stale pre-switch estimates cannot carry across.
+  const double rate_before = 1000.0;
+  const double rate_after = 2000.0;
+  const auto epoch0 = capture_at_rate(rate_before, 4242);
+  const auto epoch1 = capture_at_rate(rate_after, 4243);
+
+  const RateEstimate before = estimate_symbol_rate(epoch0);
+  const RateEstimate after = estimate_symbol_rate(epoch1);
+  ASSERT_TRUE(before.plausible());
+  ASSERT_TRUE(after.plausible());
+  EXPECT_NEAR(before.symbol_rate_hz, rate_before, 0.02 * rate_before);
+  EXPECT_NEAR(after.symbol_rate_hz, rate_after, 0.02 * rate_after);
+  EXPECT_GT(after.symbol_rate_hz, 1.5 * before.symbol_rate_hz);
+
+  // Carrying the stale rate across the switch must read as a bad fit:
+  // the post-switch bands, measured against the pre-switch rate's
+  // neighborhood, fit strictly worse than against their own rate.
+  const RateEstimate stale =
+      estimate_symbol_rate(epoch1, 0.9 * rate_before, 1.1 * rate_before);
+  EXPECT_GT(stale.residual, after.residual);
+}
+
 TEST(RateEstimator, EstimateFeedsTheReceiver) {
   // End-to-end: estimate the rate blindly, then decode with it.
   const double true_rate = 2400.0;

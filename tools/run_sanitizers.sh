@@ -22,8 +22,8 @@ jobs="${1:-$(nproc)}"
 # TSan must cover the concurrency surface: if a rename/move ever drops
 # one of these suites from the binary, fail the run instead of silently
 # shrinking coverage.
-tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages)
-tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*'
+tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt)
+tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*'
 
 build_suite() {
   local build_dir="$1" cmake_flag="$2"
