@@ -1,0 +1,133 @@
+// Extension bench: multi-luminaire spatial multiplexing. The paper's §10
+// outlook points at LED arrays; colorbars::scene realizes it — N
+// independent transmitters share one camera view as column strips, the
+// receiver tracks each strip and decodes every ROI in parallel. Each
+// luminaire carries the full single-link symbol rate, so aggregate
+// goodput should scale with luminaire count until strips get too narrow
+// for clean column averaging.
+//
+// Acceptance: every luminaire acquires a decode lane for N <= 4, and
+// aggregate goodput increases strictly monotonically 1 -> 2 -> 4
+// luminaires. The 8-luminaire row is reported for the scaling curve but
+// not gated (4-pixel strips decode at the edge of the margin budget).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "colorbars/scene/simulator.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+/// ideal_profile widened to 64 columns so up to 8 strips fit with dark
+/// gaps between them.
+camera::SensorProfile wide_profile() {
+  camera::SensorProfile profile = camera::ideal_profile();
+  profile.columns = 64;
+  return profile;
+}
+
+/// N full-height strips, evenly pitched with equal dark gaps, aligned to
+/// the tracker's 4-column grid.
+scene::SceneSpec layout(int luminaires, const camera::SensorProfile& profile) {
+  scene::SceneSpec spec;
+  const int pitch = profile.columns / luminaires;
+  const int width = std::max(4, (pitch / 2) / 4 * 4);
+  for (int i = 0; i < luminaires; ++i) {
+    scene::LuminairePlacement placement;
+    placement.region.top = 0;
+    placement.region.height = profile.rows;
+    placement.region.left = i * pitch + (pitch - width) / 2 / 4 * 4;
+    placement.region.width = width;
+    spec.luminaires.push_back(placement);
+  }
+  return spec;
+}
+
+struct ScalePoint {
+  int luminaires = 0;
+  scene::SceneRunResult result;
+  int lanes_matched = 0;
+};
+
+ScalePoint run_scale(int luminaires, double duration_s) {
+  scene::SceneConfig config;
+  config.link.order = csk::CskOrder::kCsk8;
+  config.link.symbol_rate_hz = 2000.0;
+  config.link.profile = wide_profile();
+  config.link.seed = 0x5ce2be2c;
+  config.scene = layout(luminaires, config.link.profile);
+
+  scene::SceneSimulator simulator(config);
+  ScalePoint point;
+  point.luminaires = luminaires;
+  point.result = simulator.run_goodput(duration_s);
+  for (const scene::LuminaireOutcome& outcome : point.result.luminaires) {
+    if (outcome.lane_id >= 0) ++point.lanes_matched;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: multi-luminaire scene decode (spatial multiplexing)");
+  bench::JsonReport report("extension_multiled");
+
+  const double duration_s = 2.0;
+  std::printf("%4s %6s %6s %10s %12s %14s %14s\n", "LEDs", "lanes", "frames",
+              "sent", "recovered", "aggregate", "per-LED mean");
+  std::vector<ScalePoint> points;
+  for (const int luminaires : {1, 2, 4, 8}) {
+    points.push_back(run_scale(luminaires, duration_s));
+    const ScalePoint& point = points.back();
+    const scene::SceneRunResult& r = point.result;
+    std::printf("%4d %3d/%-2d %6d %9zuB %11zuB %11.2fkbps %11.2fkbps\n",
+                point.luminaires, point.lanes_matched, point.luminaires, r.frames,
+                r.sent_bytes, r.recovered_bytes, r.goodput_bps() / 1000.0,
+                r.goodput_bps() / 1000.0 / point.luminaires);
+
+    report.add_row()
+        .label("luminaires", std::to_string(point.luminaires))
+        .metric("lanes_opened", r.lanes_opened)
+        .metric("lanes_matched", point.lanes_matched)
+        .metric("frames", r.frames)
+        .metric("sent_bytes", static_cast<double>(r.sent_bytes))
+        .metric("recovered_bytes", static_cast<double>(r.recovered_bytes))
+        .metric("aggregate_goodput_bps", r.goodput_bps())
+        .metric("air_time_s", r.air_time_s);
+  }
+
+  // Acceptance: all luminaires tracked through N=4, and aggregate
+  // goodput strictly monotonic over 1 -> 2 -> 4.
+  bool all_tracked = true;
+  for (const ScalePoint& point : points) {
+    if (point.luminaires <= 4 && point.lanes_matched != point.luminaires) {
+      all_tracked = false;
+      std::printf("FAIL: %d of %d luminaires acquired a lane at N=%d\n",
+                  point.lanes_matched, point.luminaires, point.luminaires);
+    }
+  }
+  bool monotonic = true;
+  for (std::size_t i = 1; i < points.size() && points[i].luminaires <= 4; ++i) {
+    if (points[i].result.goodput_bps() <= points[i - 1].result.goodput_bps()) {
+      monotonic = false;
+      std::printf("FAIL: goodput not monotonic at N=%d (%.2f <= %.2f kbps)\n",
+                  points[i].luminaires, points[i].result.goodput_bps() / 1000.0,
+                  points[i - 1].result.goodput_bps() / 1000.0);
+    }
+  }
+
+  const bool pass = all_tracked && monotonic;
+  std::printf("\nacceptance: %s\n", pass ? "PASS" : "FAIL");
+  report.add_row()
+      .label("luminaires", "acceptance")
+      .metric("all_tracked", all_tracked ? 1 : 0)
+      .metric("monotonic_1_2_4", monotonic ? 1 : 0)
+      .metric("pass", pass ? 1 : 0);
+  report.write();
+  return pass ? 0 : 1;
+}

@@ -60,9 +60,17 @@ struct LinkQuality {
   /// margin_valid (margins only exist for decoded payload slots).
   double margin = 0.0;
   bool margin_valid = false;
+  /// Ratio estimates below follow the same discipline as margin: an
+  /// interval with an empty denominator (nothing sent, no frames, no
+  /// decisions) carries no evidence about the ratio, so it neither
+  /// initializes nor decays the EWMA. Each is meaningful only once its
+  /// _valid flag is set.
   double header_loss = 0.0;    ///< header-lost packets per packet sent
+  bool header_loss_valid = false;
   double frame_drop = 0.0;     ///< dropped frames per frame produced
+  bool frame_drop_valid = false;
   double corrected_per_packet = 0.0;  ///< RS corrections per decided packet
+  bool corrected_valid = false;
   int samples = 0;
 
   [[nodiscard]] bool valid() const noexcept { return samples > 0; }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -45,6 +46,20 @@ struct RenderScratch {
   std::vector<led::Vec3> row_response;
   std::vector<double> raw;
   FloatImage rgb;
+  /// Scene-composite renders only: per-emitter per-row LED responses,
+  /// laid out emitter-major (emitter * rows + row). Unused (and left
+  /// untouched) by the single-trace render path.
+  std::vector<led::Vec3> region_rows;
+};
+
+/// One luminaire of a multi-emitter scene: the sensor rectangle its
+/// image covers, the emission trace it plays, and the optical channel
+/// its light crosses (per-luminaire distance/occlusion). Non-owning —
+/// the scene compositor borrows all three for the duration of a render.
+struct RegionEmitter {
+  const led::EmissionTrace* trace = nullptr;
+  const channel::OpticalChannel* channel = nullptr;
+  SensorRegion region;
 };
 
 /// The deterministic frame-timing plan of one video capture: the
@@ -117,6 +132,13 @@ class RollingShutterCamera {
   [[nodiscard]] CapturePlan plan_capture(const led::EmissionTrace& trace,
                                          double start_offset_s = 0.0);
 
+  /// Duration-based variant of plan_capture for captures that are not
+  /// driven by a single trace (scene composites span several). Performs
+  /// the identical member-RNG timing walk: plan_capture(trace, o) ==
+  /// plan_capture_span(trace.duration(), o) byte for byte.
+  [[nodiscard]] CapturePlan plan_capture_span(double duration_s,
+                                              double start_offset_s = 0.0);
+
   /// Renders frame `frame_index` of `plan` into the caller-provided
   /// frame and scratch buffers (both resized in place, so pooled buffers
   /// recycle their allocations). Pure function of (plan, frame_index):
@@ -132,6 +154,27 @@ class RollingShutterCamera {
                          int frame_index, util::Xoshiro256& rng, Frame& out,
                          RenderScratch& scratch) const;
 
+  /// Scene-composite render: places every emitter's LED response into
+  /// its sensor rectangle on top of the camera channel's ambient
+  /// background, then applies the same vignette/mosaic/noise/demosaic/
+  /// encode chain as the single-trace path. Auto exposure spot-meters
+  /// the lit regions (area-weighted mean over the emitters, each seen
+  /// through its own channel) — a phone meters the subject, and
+  /// metering the mostly dark full field would blow out the strips.
+  /// Throws std::invalid_argument on a null trace/channel or a region
+  /// that does not fit the sensor.
+  void render_scene_frame_into(std::span<const RegionEmitter> emitters,
+                               double start_time_s, int frame_index,
+                               util::Xoshiro256& rng, Frame& out,
+                               RenderScratch& scratch) const;
+
+  /// Scene counterpart of render_planned_frame: renders plan frame
+  /// `frame_index` of a multi-emitter capture from its counter-derived
+  /// RNG stream. Pure function of (emitters, plan, frame_index).
+  void render_planned_scene_frame(std::span<const RegionEmitter> emitters,
+                                  const CapturePlan& plan, int frame_index, Frame& out,
+                                  RenderScratch& scratch) const;
+
   /// Vignetting gain at a pixel (1 at center, 1 - strength at corners,
   /// clamped at 0 so an extreme profile cannot produce negative charge).
   [[nodiscard]] double vignette_gain(int row, int column) const noexcept;
@@ -140,6 +183,18 @@ class RollingShutterCamera {
   /// Linear sensor RGB for one scanline's exposure window, before noise.
   [[nodiscard]] led::Vec3 expose_row(const led::EmissionTrace& trace, double read_time_s,
                                      const ExposureSettings& settings) const noexcept;
+
+  /// auto_exposure core on a radiance that already carries its channel
+  /// attenuation (the scene path attenuates per emitter; the classic
+  /// path applies the camera channel's static gain first).
+  [[nodiscard]] ExposureSettings auto_exposure_metered(
+      const led::Vec3& attenuated_mean_radiance) const noexcept;
+
+  /// Scene auto-exposure decision plus AE-hunt jitter, shared by the
+  /// composite render path.
+  [[nodiscard]] ExposureSettings scene_exposure(std::span<const RegionEmitter> emitters,
+                                                double start_time_s,
+                                                util::Xoshiro256& rng) const;
 
   SensorProfile profile_;
   channel::OpticalChannel channel_;

@@ -64,6 +64,41 @@ class FloatImage {
   std::vector<util::Vec3> pixels_;
 };
 
+/// An axis-aligned rectangle on the sensor, in pixel units: rows
+/// [top, top + height), columns [left, left + width). Shared by the
+/// scene compositor (where a luminaire images) and the receiver-side
+/// ROI tracker (where a luminaire was detected).
+struct SensorRegion {
+  int top = 0;
+  int left = 0;
+  int height = 0;
+  int width = 0;
+
+  [[nodiscard]] int row_end() const noexcept { return top + height; }
+  [[nodiscard]] int column_end() const noexcept { return left + width; }
+  [[nodiscard]] long long area() const noexcept {
+    return static_cast<long long>(height) * static_cast<long long>(width);
+  }
+  [[nodiscard]] bool empty() const noexcept { return height <= 0 || width <= 0; }
+  [[nodiscard]] bool contains(int row, int column) const noexcept {
+    return row >= top && row < row_end() && column >= left && column < column_end();
+  }
+  /// Columns shared with `other` (0 when disjoint).
+  [[nodiscard]] int column_overlap(const SensorRegion& other) const noexcept {
+    const int lo = left > other.left ? left : other.left;
+    const int hi = column_end() < other.column_end() ? column_end() : other.column_end();
+    return hi > lo ? hi - lo : 0;
+  }
+  /// True when the rectangle has positive extent and fits a rows x
+  /// columns sensor.
+  [[nodiscard]] bool within(int rows, int columns) const noexcept {
+    return !empty() && top >= 0 && left >= 0 && row_end() <= rows &&
+           column_end() <= columns;
+  }
+
+  friend bool operator==(const SensorRegion&, const SensorRegion&) = default;
+};
+
 /// An 8-bit sRGB frame as delivered by the camera ISP, plus capture
 /// metadata the receiver is allowed to know (its own camera's clock).
 struct Frame {

@@ -51,6 +51,7 @@
 #include "colorbars/rx/receiver.hpp"           // batch receiver
 #include "colorbars/rx/streaming.hpp"          // frame-at-a-time receiver
 #include "colorbars/rx/rate_estimator.hpp"     // blind symbol-rate recovery
+#include "colorbars/rx/roi_tracker.hpp"        // luminaire region tracking
 
 #include "colorbars/tx/transmitter.hpp"  // transmitter pipeline
 
@@ -63,3 +64,7 @@
 #include "colorbars/adapt/feedback.hpp"    // lossy delayed uplink model
 #include "colorbars/adapt/monitor.hpp"     // smoothed link-quality estimate
 #include "colorbars/adapt/simulator.hpp"   // closed-loop adaptive link
+
+#include "colorbars/scene/scene.hpp"      // multi-luminaire scene compositor
+#include "colorbars/scene/receiver.hpp"   // per-ROI decode lane fan-out
+#include "colorbars/scene/simulator.hpp"  // N-luminaire scene simulator

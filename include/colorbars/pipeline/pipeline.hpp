@@ -17,6 +17,7 @@
 // sequence is byte-identical to the materialized capture_video at every
 // thread count and every lookahead.
 
+#include <memory>
 #include <span>
 
 #include "colorbars/camera/camera.hpp"
@@ -46,6 +47,49 @@ struct SourceConfig {
   int frame_index_base = 0;
 };
 
+/// What a FrameSource prefetches through: a frozen CapturePlan plus a
+/// renderer for its frames. render() must be a pure function of
+/// (plan, frame_index) — refills fan the batch out over the runtime
+/// pool, and the determinism contract requires byte-identical frames at
+/// every thread count. CameraTraceRenderer adapts the classic
+/// single-trace camera path; scene::SceneFrameRenderer the
+/// multi-luminaire compositor.
+class FrameRenderer {
+ public:
+  virtual ~FrameRenderer() = default;
+  [[nodiscard]] virtual const camera::CapturePlan& plan() const noexcept = 0;
+  /// Renders plan frame `frame_index` into caller-provided (pooled)
+  /// buffers.
+  virtual void render(int frame_index, camera::Frame& out,
+                      camera::RenderScratch& scratch) const = 0;
+};
+
+/// The single-trace renderer every pre-scene capture used: one camera,
+/// one emission trace flooding the field of view. Construction consumes
+/// the camera's timing walk (plan_capture), exactly as the classic
+/// FrameSource constructor did.
+class CameraTraceRenderer final : public FrameRenderer {
+ public:
+  /// `camera` and `trace` must outlive the renderer.
+  CameraTraceRenderer(camera::RollingShutterCamera& camera,
+                      const led::EmissionTrace& trace, double start_offset_s = 0.0)
+      : camera_(camera), trace_(trace), plan_(camera.plan_capture(trace, start_offset_s)) {}
+  /// A temporary trace would dangle after this full-expression.
+  CameraTraceRenderer(camera::RollingShutterCamera&, led::EmissionTrace&&, double = 0.0) =
+      delete;
+
+  [[nodiscard]] const camera::CapturePlan& plan() const noexcept override { return plan_; }
+  void render(int frame_index, camera::Frame& out,
+              camera::RenderScratch& scratch) const override {
+    camera_.render_planned_frame(trace_, plan_, frame_index, out, scratch);
+  }
+
+ private:
+  camera::RollingShutterCamera& camera_;
+  const led::EmissionTrace& trace_;
+  camera::CapturePlan plan_;
+};
+
 /// A channel-impairment hook between camera and receiver. Stages may
 /// mutate the frame in place (exposure jitter, pixel corruption) or
 /// drop it entirely (return false) — a dropped frame never reaches the
@@ -72,10 +116,11 @@ class FrameSink {
   virtual void on_stream_end() {}
 };
 
-/// Pulls frames from a RollingShutterCamera + EmissionTrace through a
-/// bounded-lookahead prefetch ring of pooled buffers. The camera's
-/// member RNG advances exactly once, at construction (plan_capture), so
-/// interleaving other camera use during iteration is not supported.
+/// Pulls frames from a FrameRenderer through a bounded-lookahead
+/// prefetch ring of pooled buffers. With the classic constructor the
+/// camera's member RNG advances exactly once, at construction
+/// (plan_capture), so interleaving other camera use during iteration is
+/// not supported.
 class FrameSource {
  public:
   /// `camera`, `trace` and `pool` must outlive the source. Construction
@@ -85,6 +130,11 @@ class FrameSource {
   /// A temporary trace would dangle after this full-expression.
   FrameSource(camera::RollingShutterCamera&, led::EmissionTrace&&, BufferPool&,
               SourceConfig = {}) = delete;
+  /// Prefetches through an externally owned renderer (scene composites,
+  /// custom sources). `renderer` and `pool` must outlive the source.
+  /// config.start_offset_s is ignored — the renderer's plan already
+  /// fixed the capture timing.
+  FrameSource(const FrameRenderer& renderer, BufferPool& pool, SourceConfig config = {});
   ~FrameSource();
 
   FrameSource(const FrameSource&) = delete;
@@ -96,25 +146,27 @@ class FrameSource {
   [[nodiscard]] camera::Frame* next();
 
   /// Total frames the capture plan spans.
-  [[nodiscard]] int total_frames() const noexcept { return plan_.frame_count(); }
+  [[nodiscard]] int total_frames() const noexcept { return plan().frame_count(); }
   /// Frames served so far.
   [[nodiscard]] int frames_emitted() const noexcept { return next_serve_; }
   /// Prefetch refills performed so far.
   [[nodiscard]] long long refills() const noexcept { return refills_; }
 
   [[nodiscard]] const BufferPool& pool() const noexcept { return pool_; }
-  [[nodiscard]] const camera::CapturePlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const camera::CapturePlan& plan() const noexcept {
+    return renderer_->plan();
+  }
 
  private:
   /// Releases the served ring back to the pool and renders the next
   /// lookahead-sized batch in parallel.
   void refill();
 
-  camera::RollingShutterCamera& camera_;
-  const led::EmissionTrace& trace_;
+  /// Set by the classic camera+trace constructor; renderer_ points at it.
+  std::unique_ptr<CameraTraceRenderer> owned_renderer_;
+  const FrameRenderer* renderer_ = nullptr;
   BufferPool& pool_;
   SourceConfig config_;
-  camera::CapturePlan plan_;
   /// Prefetch ring: pooled frames holding plan indices
   /// [ring_base_, ring_base_ + ring_.size()).
   std::vector<camera::Frame> ring_;

@@ -55,6 +55,14 @@ struct ExtractorConfig {
 /// Column-averages every scanline into Lab components.
 [[nodiscard]] std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame);
 
+/// ROI-scoped variant: averages only columns
+/// [column_begin, column_end) ∩ [0, frame.columns) of each scanline —
+/// the decode slice of one tracked luminaire. Returns no scanlines when
+/// the clamped range (or the frame itself) is empty.
+[[nodiscard]] std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame,
+                                                             int column_begin,
+                                                             int column_end);
+
 /// Segments scanline colors into bands and attaches stream-time extents.
 [[nodiscard]] std::vector<Band> segment_bands(const camera::Frame& frame,
                                               const std::vector<ScanlineColor>& scanlines,
@@ -70,6 +78,14 @@ struct ExtractorConfig {
 /// Convenience: full front-end for one frame.
 [[nodiscard]] std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
                                                          double symbol_rate_hz,
+                                                         const ExtractorConfig& config = {});
+
+/// ROI-scoped front-end: reduce only [column_begin, column_end), then
+/// segment and slot-map as usual (band timing comes from the frame's
+/// row clock, which is column-independent).
+[[nodiscard]] std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
+                                                         double symbol_rate_hz,
+                                                         int column_begin, int column_end,
                                                          const ExtractorConfig& config = {});
 
 }  // namespace colorbars::rx

@@ -81,6 +81,11 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// Ingests the next camera frame (frames must arrive in capture order).
   void push_frame(const camera::Frame& frame);
 
+  /// ROI-scoped ingest: column-averages only [column_begin, column_end)
+  /// of each scanline — the decode slice of one tracked luminaire. All
+  /// other semantics match push_frame.
+  void push_frame(const camera::Frame& frame, int column_begin, int column_end);
+
   /// Returns the packets that have become decodable since the last call
   /// (possibly none). Cheap when no new frames arrived.
   [[nodiscard]] std::vector<PacketRecord> poll();
@@ -156,6 +161,9 @@ class StreamingReceiver : public pipeline::FrameSink {
 
   /// Records per-drain stats bookkeeping shared by every drain path.
   void note_drain(double elapsed_s, long long scanned_before) noexcept;
+
+  /// Shared ingest tail of both push_frame overloads.
+  void ingest_slots(const std::vector<SlotObservation>& slots);
 
   Receiver receiver_;
   StreamingConfig stream_config_;

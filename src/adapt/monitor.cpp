@@ -21,31 +21,37 @@ void LinkMonitor::observe(const LinkQualitySample& sample) {
   };
 
   quality_.packet_success = blend(quality_.packet_success, sample.success());
-  const double header_loss =
-      sample.packets_sent > 0 ? static_cast<double>(sample.header_losses) /
-                                    static_cast<double>(sample.packets_sent)
-                              : 0.0;
-  quality_.header_loss = blend(quality_.header_loss, header_loss);
+  // Ratio signals carry evidence only when their denominator is
+  // non-empty: an interval that sent nothing says nothing about header
+  // loss, an interval with no frames says nothing about drops, and an
+  // impossible-ratio placeholder of 0.0 would otherwise decay a real
+  // estimate toward "healthy" during dead air (margin already followed
+  // this discipline; the other ratios now match it).
+  auto blend_ratio = [&](double& estimate, bool& estimate_valid, double value) {
+    estimate = estimate_valid ? estimate + alpha * (value - estimate) : value;
+    estimate_valid = true;
+  };
+  if (sample.packets_sent > 0) {
+    blend_ratio(quality_.header_loss, quality_.header_loss_valid,
+                static_cast<double>(sample.header_losses) /
+                    static_cast<double>(sample.packets_sent));
+  }
   const long long frames = sample.frames_streamed + sample.frames_dropped;
-  const double frame_drop =
-      frames > 0 ? static_cast<double>(sample.frames_dropped) /
-                       static_cast<double>(frames)
-                 : 0.0;
-  quality_.frame_drop = blend(quality_.frame_drop, frame_drop);
-  const double corrected =
-      sample.packets_decided > 0 ? static_cast<double>(sample.corrected_symbols) /
-                                       static_cast<double>(sample.packets_decided)
-                                 : 0.0;
-  quality_.corrected_per_packet = blend(quality_.corrected_per_packet, corrected);
+  if (frames > 0) {
+    blend_ratio(quality_.frame_drop, quality_.frame_drop_valid,
+                static_cast<double>(sample.frames_dropped) / static_cast<double>(frames));
+  }
+  if (sample.packets_decided > 0) {
+    blend_ratio(quality_.corrected_per_packet, quality_.corrected_valid,
+                static_cast<double>(sample.corrected_symbols) /
+                    static_cast<double>(sample.packets_decided));
+  }
   // Margins exist only when payload slots actually classified: a dead
   // interval must not drag the margin estimate toward zero (the success
   // collapse already reports the death), so the margin EWMA skips
   // sample-less intervals.
   if (sample.margin_count > 0) {
-    quality_.margin = quality_.margin_valid
-                          ? quality_.margin + alpha * (sample.mean_margin() - quality_.margin)
-                          : sample.mean_margin();
-    quality_.margin_valid = true;
+    blend_ratio(quality_.margin, quality_.margin_valid, sample.mean_margin());
   }
   ++quality_.samples;
 }

@@ -36,13 +36,17 @@ RollingShutterCamera::RollingShutterCamera(SensorProfile profile,
 }
 
 ExposureSettings RollingShutterCamera::auto_exposure(const Vec3& mean_radiance) const noexcept {
+  // AE meters the channel's static attenuation only — a phone's AE
+  // converges on the steady scene, not a transient occlusion burst.
+  return auto_exposure_metered(mean_radiance * channel_.attenuation_gain());
+}
+
+ExposureSettings RollingShutterCamera::auto_exposure_metered(
+    const Vec3& attenuated_mean_radiance) const noexcept {
   // Controller: pick the exposure that puts the mean green response at
   // the target, at base ISO; raise ISO only when the exposure ceiling is
   // reached (standard phone AE priority order).
-  // AE meters the channel's static attenuation only — a phone's AE
-  // converges on the steady scene, not a transient occlusion burst.
-  const Vec3 sensor =
-      profile_.xyz_to_sensor_rgb * (mean_radiance * channel_.attenuation_gain());
+  const Vec3 sensor = profile_.xyz_to_sensor_rgb * attenuated_mean_radiance;
   const double mean_green = std::max(sensor.y, 1e-6);
 
   ExposureSettings settings;
@@ -93,6 +97,64 @@ Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double re
   return (sensor * gain).clamped(0.0, 1e9);
 }
 
+namespace {
+
+/// The back half of every frame render — vignette, Bayer mosaic with
+/// shot/read noise, demosaic, sRGB quantize, metadata stamp — shared by
+/// the single-trace and scene-composite paths. `response_at(r, c)` is
+/// the pre-noise linear sensor response of pixel (r, c); it is sampled
+/// in row-major order with exactly two rng.normal() draws per pixel, so
+/// any path funneled through here keeps the frozen golden captures
+/// byte-identical.
+template <typename ResponseAt>
+void mosaic_and_encode(const RollingShutterCamera& camera, const ExposureSettings& settings,
+                       double start_time_s, int frame_index, ResponseAt&& response_at,
+                       util::Xoshiro256& rng, Frame& out, RenderScratch& scratch) {
+  const SensorProfile& profile = camera.profile();
+  const double row_time = profile.row_time_s();
+  const double iso_gain = settings.iso / 100.0;
+
+  std::vector<double>& raw = scratch.raw;
+  raw.resize(checked_image_size(profile.rows, profile.columns));
+  const double read_sigma = profile.read_noise * iso_gain;
+  for (int r = 0; r < profile.rows; ++r) {
+    for (int c = 0; c < profile.columns; ++c) {
+      const Vec3 response = response_at(r, c);
+      double signal = 0.0;
+      switch (bayer_channel(r, c)) {
+        case BayerChannel::kRed: signal = response.x; break;
+        case BayerChannel::kGreen: signal = response.y; break;
+        case BayerChannel::kBlue: signal = response.z; break;
+      }
+      signal *= camera.vignette_gain(r, c);
+      const double shot_sigma = std::sqrt(std::max(signal, 0.0) * iso_gain /
+                                          profile.well_capacity);
+      const double noisy =
+          signal + rng.normal() * shot_sigma + rng.normal() * read_sigma;
+      raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(profile.columns) +
+          static_cast<std::size_t>(c)] = std::clamp(noisy, 0.0, 1.0);
+    }
+  }
+
+  demosaic_into(raw, profile.rows, profile.columns, scratch.rgb);
+  const FloatImage& rgb = scratch.rgb;
+
+  out.resize(profile.rows, profile.columns);
+  out.start_time_s = start_time_s;
+  out.row_time_s = row_time;
+  out.exposure_s = settings.exposure_s;
+  out.iso = settings.iso;
+  out.frame_index = frame_index;
+  for (int r = 0; r < profile.rows; ++r) {
+    for (int c = 0; c < profile.columns; ++c) {
+      // Bit-identical to to_rgb8(srgb_encode(...)) but pow-free.
+      out.at(r, c) = color::quantize_srgb(rgb.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+
 Frame RollingShutterCamera::capture_frame(const led::EmissionTrace& trace,
                                           double start_time_s, int frame_index) {
   Frame frame;
@@ -120,7 +182,6 @@ void RollingShutterCamera::render_frame_into(const led::EmissionTrace& trace,
   }
 
   const double row_time = profile_.row_time_s();
-  const double iso_gain = settings.iso / 100.0;
 
   // Per-row scene response (identical across columns before vignetting
   // and noise, since the close-range LED floods the field of view).
@@ -131,48 +192,117 @@ void RollingShutterCamera::render_frame_into(const led::EmissionTrace& trace,
     row_response[static_cast<std::size_t>(r)] = expose_row(trace, read_time, settings);
   }
 
-  // Mosaic sampling with photon shot noise and read noise per site.
-  std::vector<double>& raw = scratch.raw;
-  raw.resize(checked_image_size(profile_.rows, profile_.columns));
-  const double read_sigma = profile_.read_noise * iso_gain;
+  mosaic_and_encode(
+      *this, settings, start_time_s, frame_index,
+      [&row_response](int r, int) { return row_response[static_cast<std::size_t>(r)]; },
+      rng, out, scratch);
+}
+
+ExposureSettings RollingShutterCamera::scene_exposure(
+    std::span<const RegionEmitter> emitters, double start_time_s,
+    util::Xoshiro256& rng) const {
+  if (manual_exposure_.has_value()) return *manual_exposure_;
+  // Spot-meter the lit regions: the area-weighted mean radiance over the
+  // emitter rectangles, each attenuated by its own channel. The dark
+  // surround is excluded — metering the full mostly-dark field would
+  // crank exposure until the strips saturate and smear every band.
+  Vec3 metered;
+  double total_area = 0.0;
+  const double readout_end_s = start_time_s + profile_.readout_duration_s();
+  for (const RegionEmitter& emitter : emitters) {
+    const double area = static_cast<double>(emitter.region.area());
+    metered += emitter.trace->average(start_time_s, readout_end_s) *
+               (emitter.channel->attenuation_gain() * area);
+    total_area += area;
+  }
+  if (total_area > 0.0) metered /= total_area;
+  ExposureSettings settings = auto_exposure_metered(metered);
+  // Same frame-to-frame AE hunting as the single-trace path.
+  settings.exposure_s *= std::clamp(rng.normal(1.0, 0.03), 0.85, 1.15);
+  settings.exposure_s = std::clamp(settings.exposure_s, profile_.min_exposure_s,
+                                   profile_.max_exposure_s);
+  return settings;
+}
+
+void RollingShutterCamera::render_scene_frame_into(std::span<const RegionEmitter> emitters,
+                                                   double start_time_s, int frame_index,
+                                                   util::Xoshiro256& rng, Frame& out,
+                                                   RenderScratch& scratch) const {
+  for (const RegionEmitter& emitter : emitters) {
+    if (emitter.trace == nullptr || emitter.channel == nullptr ||
+        !emitter.region.within(profile_.rows, profile_.columns)) {
+      throw std::invalid_argument(
+          "render_scene_frame_into: emitter needs a trace, a channel and a region "
+          "inside the sensor");
+    }
+  }
+  const ExposureSettings settings = scene_exposure(emitters, start_time_s, rng);
+  const double row_time = profile_.row_time_s();
+  const double gain =
+      profile_.sensitivity * (settings.iso / 100.0) * (settings.exposure_s * 1000.0);
+  const auto rows = static_cast<std::size_t>(profile_.rows);
+
+  // Background rows: the camera channel's ambient term (the scene's
+  // unlit surround), per row like expose_row's ambient half.
+  std::vector<Vec3>& ambient_rows = scratch.row_response;
+  ambient_rows.resize(rows);
   for (int r = 0; r < profile_.rows; ++r) {
-    const Vec3& response = row_response[static_cast<std::size_t>(r)];
-    for (int c = 0; c < profile_.columns; ++c) {
-      double signal = 0.0;
-      switch (bayer_channel(r, c)) {
-        case BayerChannel::kRed: signal = response.x; break;
-        case BayerChannel::kGreen: signal = response.y; break;
-        case BayerChannel::kBlue: signal = response.z; break;
-      }
-      signal *= vignette_gain(r, c);
-      const double shot_sigma = std::sqrt(std::max(signal, 0.0) * iso_gain /
-                                          profile_.well_capacity);
-      const double noisy =
-          signal + rng.normal() * shot_sigma + rng.normal() * read_sigma;
-      raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(profile_.columns) +
-          static_cast<std::size_t>(c)] = std::clamp(noisy, 0.0, 1.0);
+    const double read_time = start_time_s + (r + 1) * row_time;
+    const double window_start = read_time - settings.exposure_s;
+    const Vec3 ambient =
+        ambient_constant_ ? ambient_sensor_
+                          : profile_.xyz_to_sensor_rgb *
+                                channel_.ambient_xyz(window_start, read_time);
+    ambient_rows[static_cast<std::size_t>(r)] = (ambient * gain).clamped(0.0, 1e9);
+  }
+
+  // Per-emitter LED rows, computed only for rows the emitter's
+  // rectangle covers (the per-pixel composite below never reads the
+  // rest).
+  std::vector<Vec3>& region_rows = scratch.region_rows;
+  region_rows.assign(emitters.size() * rows, Vec3{});
+  for (std::size_t e = 0; e < emitters.size(); ++e) {
+    const RegionEmitter& emitter = emitters[e];
+    for (int r = emitter.region.top; r < emitter.region.row_end(); ++r) {
+      const double read_time = start_time_s + (r + 1) * row_time;
+      const double window_start = read_time - settings.exposure_s;
+      const Vec3 led_xyz = emitter.trace->average(window_start, read_time) *
+                           emitter.channel->signal_gain(window_start, read_time);
+      region_rows[e * rows + static_cast<std::size_t>(r)] =
+          ((profile_.xyz_to_sensor_rgb * led_xyz) * gain).clamped(0.0, 1e9);
     }
   }
 
-  demosaic_into(raw, profile_.rows, profile_.columns, scratch.rgb);
-  const FloatImage& rgb = scratch.rgb;
+  mosaic_and_encode(
+      *this, settings, start_time_s, frame_index,
+      [&](int r, int c) {
+        Vec3 response = ambient_rows[static_cast<std::size_t>(r)];
+        for (std::size_t e = 0; e < emitters.size(); ++e) {
+          if (emitters[e].region.contains(r, c)) {
+            response += region_rows[e * rows + static_cast<std::size_t>(r)];
+          }
+        }
+        return response;
+      },
+      rng, out, scratch);
+}
 
-  out.resize(profile_.rows, profile_.columns);
-  out.start_time_s = start_time_s;
-  out.row_time_s = row_time;
-  out.exposure_s = settings.exposure_s;
-  out.iso = settings.iso;
-  out.frame_index = frame_index;
-  for (int r = 0; r < profile_.rows; ++r) {
-    for (int c = 0; c < profile_.columns; ++c) {
-      // Bit-identical to to_rgb8(srgb_encode(...)) but pow-free.
-      out.at(r, c) = color::quantize_srgb(rgb.at(r, c));
-    }
-  }
+void RollingShutterCamera::render_planned_scene_frame(
+    std::span<const RegionEmitter> emitters, const CapturePlan& plan, int frame_index,
+    Frame& out, RenderScratch& scratch) const {
+  util::Xoshiro256 frame_rng(runtime::derive_stream_seed(
+      plan.stream_seed, static_cast<std::uint64_t>(frame_index)));
+  render_scene_frame_into(emitters, plan.start_times[static_cast<std::size_t>(frame_index)],
+                          frame_index, frame_rng, out, scratch);
 }
 
 CapturePlan RollingShutterCamera::plan_capture(const led::EmissionTrace& trace,
                                                double start_offset_s) {
+  return plan_capture_span(trace.duration(), start_offset_s);
+}
+
+CapturePlan RollingShutterCamera::plan_capture_span(double duration_s,
+                                                    double start_offset_s) {
   const double period = profile_.frame_period_s();
   // Frame timing wanders as a bounded random walk inside the gap
   // (auto-exposure hunting continuously reshuffles readout start on real
@@ -192,7 +322,7 @@ CapturePlan RollingShutterCamera::plan_capture(const led::EmissionTrace& trace,
     // Multiply rather than accumulate so rounding cannot create a
     // spurious extra frame at an exact trace boundary.
     const double nominal = start_offset_s + index * period;
-    if (nominal >= trace.duration() - 1e-12) break;
+    if (nominal >= duration_s - 1e-12) break;
     plan.start_times.push_back(nominal + offset);
     if (offset_max > 0.0) {
       offset += rng_.uniform(-0.4, 0.4) * offset_max;

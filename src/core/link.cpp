@@ -134,8 +134,12 @@ pipeline::PipelineStats stream_capture(camera::RollingShutterCamera& camera,
   pipeline::BufferPool pool;
   pipeline::SourceConfig source_config;
   source_config.lookahead = lookahead;
-  source_config.start_offset_s = start_offset_s;
-  pipeline::FrameSource source(camera, trace, pool, source_config);
+  // Route through the FrameRenderer seam (the scene subsystem plugs its
+  // compositor into the same socket). The renderer's plan_capture walk
+  // is the one the classic FrameSource constructor performed, so this
+  // stays byte-identical to the pre-renderer path.
+  pipeline::CameraTraceRenderer renderer(camera, trace, start_offset_s);
+  pipeline::FrameSource source(renderer, pool, source_config);
   return pipeline::run_pipeline(source, stages, sink);
 }
 

@@ -9,8 +9,15 @@ namespace colorbars::pipeline {
 FrameSource::FrameSource(camera::RollingShutterCamera& camera,
                          const led::EmissionTrace& trace, BufferPool& pool,
                          SourceConfig config)
-    : camera_(camera), trace_(trace), pool_(pool), config_(config),
-      plan_(camera.plan_capture(trace, config.start_offset_s)) {
+    : owned_renderer_(
+          std::make_unique<CameraTraceRenderer>(camera, trace, config.start_offset_s)),
+      renderer_(owned_renderer_.get()), pool_(pool), config_(config) {
+  config_.lookahead = std::max(config_.lookahead, 1);
+}
+
+FrameSource::FrameSource(const FrameRenderer& renderer, BufferPool& pool,
+                         SourceConfig config)
+    : renderer_(&renderer), pool_(pool), config_(config) {
   config_.lookahead = std::max(config_.lookahead, 1);
 }
 
@@ -24,7 +31,7 @@ void FrameSource::refill() {
   ring_.clear();
 
   const int base = next_serve_;
-  const int batch = std::min(config_.lookahead, plan_.frame_count() - base);
+  const int batch = std::min(config_.lookahead, plan().frame_count() - base);
   ring_.reserve(static_cast<std::size_t>(batch));
   for (int i = 0; i < batch; ++i) ring_.push_back(pool_.acquire_frame());
 
@@ -36,8 +43,7 @@ void FrameSource::refill() {
     camera::RenderScratch scratch = pool_.acquire_scratch();
     for (std::int64_t i = lo; i < hi; ++i) {
       camera::Frame& frame = ring_[static_cast<std::size_t>(i)];
-      camera_.render_planned_frame(trace_, plan_, base + static_cast<int>(i), frame,
-                                   scratch);
+      renderer_->render(base + static_cast<int>(i), frame, scratch);
       // Re-stamp onto the consumer's stream clock (see SourceConfig);
       // a pure post-render shift, so the rendered pixels are identical
       // to the unshifted capture.
@@ -51,7 +57,7 @@ void FrameSource::refill() {
 }
 
 camera::Frame* FrameSource::next() {
-  if (next_serve_ >= plan_.frame_count()) return nullptr;
+  if (next_serve_ >= plan().frame_count()) return nullptr;
   if (next_serve_ >= ring_base_ + static_cast<int>(ring_.size())) refill();
   camera::Frame* frame = &ring_[static_cast<std::size_t>(next_serve_ - ring_base_)];
   ++next_serve_;

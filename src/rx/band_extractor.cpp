@@ -1,5 +1,6 @@
 #include "colorbars/rx/band_extractor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "colorbars/color/lut.hpp"
@@ -9,7 +10,20 @@
 namespace colorbars::rx {
 
 std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
-  std::vector<ScanlineColor> scanlines(static_cast<std::size_t>(frame.rows));
+  return reduce_to_scanlines(frame, 0, frame.columns);
+}
+
+std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame,
+                                               int column_begin, int column_end) {
+  const int begin = std::max(column_begin, 0);
+  const int end = std::min(column_end, frame.columns);
+  std::vector<ScanlineColor> scanlines;
+  // Nothing to average: a zero-column frame or an ROI that clamps to an
+  // empty range. Dividing by the width would seed NaN into every
+  // downstream band decision, so return no scanlines instead.
+  if (begin >= end || frame.rows <= 0) return scanlines;
+  scanlines.resize(static_cast<std::size_t>(frame.rows));
+  const double inv = 1.0 / (end - begin);
   // Per-pixel Rgb8 -> Lab goes through the table-driven fast path (exact
   // 256-entry decode, interpolated CIE f) — the std::pow/cbrt chain was
   // the hottest receiver cost. Rows are independent, so they fan out
@@ -21,7 +35,7 @@ std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
       double sum_a = 0.0;
       double sum_b = 0.0;
       util::Vec3 sum_rgb;
-      for (int c = 0; c < frame.columns; ++c) {
+      for (int c = begin; c < end; ++c) {
         const color::Rgb8& pixel = frame.at(static_cast<int>(r), c);
         const color::Lab lab = color::rgb8_to_lab_fast(pixel);
         sum_l += lab.L;
@@ -29,7 +43,6 @@ std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
         sum_b += lab.b;
         sum_rgb += color::from_rgb8(pixel);
       }
-      const double inv = 1.0 / frame.columns;
       scanlines[static_cast<std::size_t>(r)] = {{sum_a * inv, sum_b * inv}, sum_l * inv,
                                                 sum_rgb * inv};
     }
@@ -117,6 +130,10 @@ std::vector<Band> segment_bands(const camera::Frame& frame,
 std::vector<SlotObservation> bands_to_slots(const std::vector<Band>& bands,
                                             double symbol_rate_hz) {
   std::vector<SlotObservation> slots;
+  // A zero/negative (or NaN) rate would map every band onto infinite
+  // slot indices via llround below — reject quietly, like
+  // estimate_symbol_rate does for its degenerate scan ranges.
+  if (!(symbol_rate_hz > 0.0)) return slots;
   const double duration = 1.0 / symbol_rate_hz;
   for (const Band& band : bands) {
     // A slot belongs to the band if the band covers the slot's midpoint:
@@ -133,7 +150,14 @@ std::vector<SlotObservation> bands_to_slots(const std::vector<Band>& bands,
 std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
                                            double symbol_rate_hz,
                                            const ExtractorConfig& config) {
-  const std::vector<ScanlineColor> scanlines = reduce_to_scanlines(frame);
+  return extract_slots(frame, symbol_rate_hz, 0, frame.columns, config);
+}
+
+std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
+                                           double symbol_rate_hz, int column_begin,
+                                           int column_end, const ExtractorConfig& config) {
+  const std::vector<ScanlineColor> scanlines =
+      reduce_to_scanlines(frame, column_begin, column_end);
   const std::vector<Band> bands = segment_bands(frame, scanlines, config);
   return bands_to_slots(bands, symbol_rate_hz);
 }

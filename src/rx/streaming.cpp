@@ -26,8 +26,17 @@ long long StreamingReceiver::tail_keep_slots() const noexcept {
 }
 
 void StreamingReceiver::push_frame(const camera::Frame& frame) {
-  const std::vector<SlotObservation> slots = extract_slots(
-      frame, receiver_.config().symbol_rate_hz, receiver_.config().extractor);
+  ingest_slots(extract_slots(frame, receiver_.config().symbol_rate_hz,
+                             receiver_.config().extractor));
+}
+
+void StreamingReceiver::push_frame(const camera::Frame& frame, int column_begin,
+                                   int column_end) {
+  ingest_slots(extract_slots(frame, receiver_.config().symbol_rate_hz, column_begin,
+                             column_end, receiver_.config().extractor));
+}
+
+void StreamingReceiver::ingest_slots(const std::vector<SlotObservation>& slots) {
   for (const SlotObservation& slot : slots) {
     if (!window_valid_) {
       window_.base_slot = slot.slot;

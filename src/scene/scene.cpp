@@ -1,0 +1,39 @@
+#include "colorbars/scene/scene.hpp"
+
+#include <stdexcept>
+
+namespace colorbars::scene {
+
+void SceneSpec::validate(const camera::SensorProfile& profile) const {
+  if (luminaires.empty()) {
+    throw std::invalid_argument("SceneSpec: at least one luminaire required");
+  }
+  for (const LuminairePlacement& placement : luminaires) {
+    if (!placement.region.within(profile.rows, profile.columns)) {
+      throw std::invalid_argument("SceneSpec: luminaire region outside the sensor");
+    }
+    placement.channel.validate();
+  }
+  for (std::size_t i = 0; i < luminaires.size(); ++i) {
+    for (std::size_t j = i + 1; j < luminaires.size(); ++j) {
+      if (luminaires[i].region.column_overlap(luminaires[j].region) > 0) {
+        throw std::invalid_argument(
+            "SceneSpec: luminaire regions must be column-disjoint (per-ROI decode "
+            "separates luminaires by column interval)");
+      }
+    }
+  }
+}
+
+SceneFrameRenderer::SceneFrameRenderer(camera::RollingShutterCamera& camera,
+                                       std::vector<camera::RegionEmitter> emitters,
+                                       double duration_s, double start_offset_s)
+    : camera_(camera), emitters_(std::move(emitters)),
+      plan_(camera.plan_capture_span(duration_s, start_offset_s)) {}
+
+void SceneFrameRenderer::render(int frame_index, camera::Frame& out,
+                                camera::RenderScratch& scratch) const {
+  camera_.render_planned_scene_frame(emitters_, plan_, frame_index, out, scratch);
+}
+
+}  // namespace colorbars::scene

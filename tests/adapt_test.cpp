@@ -76,6 +76,74 @@ TEST(Adapt, MonitorResetClearsEstimate) {
   monitor.reset();
   EXPECT_FALSE(monitor.quality().valid());
   EXPECT_FALSE(monitor.quality().margin_valid);
+  EXPECT_FALSE(monitor.quality().header_loss_valid);
+  EXPECT_FALSE(monitor.quality().frame_drop_valid);
+  EXPECT_FALSE(monitor.quality().corrected_valid);
+}
+
+TEST(Adapt, MonitorRatioSignalsSkipEmptyDenominators) {
+  LinkMonitor monitor({.alpha = 0.5});
+  // Establish lossy estimates: half the sent packets lose their header,
+  // half the frames drop, and each decided packet needed 4 corrections.
+  LinkQualitySample lossy;
+  lossy.packets_sent = 10;
+  lossy.packets_decided = 5;
+  lossy.packets_ok = 5;
+  lossy.header_losses = 5;
+  lossy.corrected_symbols = 20;
+  lossy.frames_streamed = 10;
+  lossy.frames_dropped = 10;
+  monitor.observe(lossy);
+  EXPECT_TRUE(monitor.quality().header_loss_valid);
+  EXPECT_TRUE(monitor.quality().frame_drop_valid);
+  EXPECT_TRUE(monitor.quality().corrected_valid);
+  EXPECT_DOUBLE_EQ(monitor.quality().header_loss, 0.5);
+  EXPECT_DOUBLE_EQ(monitor.quality().frame_drop, 0.5);
+  EXPECT_DOUBLE_EQ(monitor.quality().corrected_per_packet, 4.0);
+
+  // A completely idle interval (nothing sent, no frames, no decisions)
+  // carries no evidence about any ratio: every estimate must hold
+  // instead of decaying toward the 0.0 placeholder.
+  monitor.observe(LinkQualitySample{});
+  EXPECT_DOUBLE_EQ(monitor.quality().header_loss, 0.5);
+  EXPECT_DOUBLE_EQ(monitor.quality().frame_drop, 0.5);
+  EXPECT_DOUBLE_EQ(monitor.quality().corrected_per_packet, 4.0);
+  EXPECT_EQ(monitor.quality().samples, 2);
+
+  // A dead interval (sent but nothing decided) IS evidence about header
+  // loss (denominator packets_sent) but not about corrections
+  // (denominator packets_decided).
+  LinkQualitySample dead = dead_sample();
+  dead.header_losses = 10;
+  monitor.observe(dead);
+  EXPECT_DOUBLE_EQ(monitor.quality().header_loss, 0.75);  // 0.5 + 0.5*(1.0-0.5)
+  EXPECT_DOUBLE_EQ(monitor.quality().corrected_per_packet, 4.0);
+}
+
+TEST(Adapt, MonitorRatioSignalsInitializeOnFirstEvidence) {
+  LinkMonitor monitor({.alpha = 0.5});
+  // Several idle intervals first: the ratio estimates stay invalid and
+  // must not be dragged toward zero before any evidence arrives.
+  monitor.observe(LinkQualitySample{});
+  monitor.observe(LinkQualitySample{});
+  EXPECT_FALSE(monitor.quality().header_loss_valid);
+  EXPECT_FALSE(monitor.quality().frame_drop_valid);
+  EXPECT_FALSE(monitor.quality().corrected_valid);
+
+  LinkQualitySample lossy;
+  lossy.packets_sent = 4;
+  lossy.header_losses = 4;
+  lossy.packets_decided = 2;
+  lossy.packets_ok = 0;
+  lossy.corrected_symbols = 6;
+  lossy.frames_streamed = 3;
+  lossy.frames_dropped = 1;
+  monitor.observe(lossy);
+  // First evidence initializes outright — not blended against the
+  // defaults the idle intervals left behind.
+  EXPECT_DOUBLE_EQ(monitor.quality().header_loss, 1.0);
+  EXPECT_DOUBLE_EQ(monitor.quality().frame_drop, 0.25);
+  EXPECT_DOUBLE_EQ(monitor.quality().corrected_per_packet, 3.0);
 }
 
 // -------------------------------------------------------------- controller

@@ -13,6 +13,7 @@
 #include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
 #include "colorbars/rx/streaming.hpp"
+#include "colorbars/scene/simulator.hpp"
 #include "colorbars/tx/transmitter.hpp"
 #include "colorbars/util/rng.hpp"
 
@@ -279,6 +280,47 @@ TEST(Determinism, AdaptiveRunIdenticalAcrossThreadCounts) {
       flat.push_back(record.desired_rung);
       flat.push_back(record.command_sent ? 1 : 0);
       flat.push_back(record.command_lost ? 1 : 0);
+    }
+    return flat;
+  };
+  expect_same_at_all_thread_counts(run);
+}
+
+TEST(Determinism, MultiLedSceneDecodeIdenticalAcrossThreadCounts) {
+  // The scene path fans out twice — frame rendering per row and decode
+  // per ROI lane — and both must stay pure functions of (seed, index):
+  // a whole multi-luminaire run is byte-identical at any thread count.
+  auto run = [] {
+    scene::SceneConfig config;
+    config.link.order = csk::CskOrder::kCsk8;
+    config.link.symbol_rate_hz = 2000.0;
+    config.link.profile = camera::ideal_profile();
+    config.link.profile.columns = 64;
+    config.link.seed = 0x5ce2ba7;
+    camera::SensorRegion left;
+    left.left = 8;
+    left.width = 16;
+    left.height = config.link.profile.rows;
+    camera::SensorRegion right = left;
+    right.left = 40;
+    config.scene.luminaires.push_back({left, {}});
+    config.scene.luminaires.push_back({right, {}});
+
+    scene::SceneSimulator sim(config);
+    const scene::SceneRunResult result = sim.run_goodput(0.5);
+    std::vector<long long> flat{static_cast<long long>(result.lanes_opened),
+                                static_cast<long long>(result.frames),
+                                static_cast<long long>(result.recovered_bytes),
+                                static_cast<long long>(result.sent_bytes)};
+    for (const scene::LuminaireOutcome& outcome : result.luminaires) {
+      flat.push_back(outcome.lane_id);
+      flat.push_back(outcome.region.left);
+      flat.push_back(outcome.region.width);
+      flat.push_back(outcome.region.top);
+      flat.push_back(outcome.region.height);
+      flat.push_back(outcome.packets);
+      flat.push_back(outcome.packets_ok);
+      flat.push_back(static_cast<long long>(outcome.recovered_bytes));
     }
     return flat;
   };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "colorbars/camera/camera.hpp"
 #include "colorbars/csk/constellation.hpp"
 #include "colorbars/led/tri_led.hpp"
@@ -156,6 +158,92 @@ TEST(ExtractSlots, RecoversDistinctSymbolRuns) {
   EXPECT_LT(l20, 20.0);
   EXPECT_GT(l21, 35.0);
   EXPECT_LT(l22, 20.0);
+}
+
+TEST(ReduceToScanlines, EmptyFrameYieldsNoScanlines) {
+  const camera::Frame frame;  // zero rows, zero columns
+  EXPECT_TRUE(reduce_to_scanlines(frame).empty());
+  EXPECT_TRUE(reduce_to_scanlines(frame, 0, 10).empty());
+}
+
+TEST(ReduceToScanlines, ZeroColumnFrameYieldsNoScanlines) {
+  camera::Frame frame;
+  frame.rows = 8;  // resize() rejects zero dimensions; build the shape by hand
+  frame.columns = 0;
+  EXPECT_TRUE(reduce_to_scanlines(frame).empty());
+}
+
+TEST(ReduceToScanlines, EmptyRoiYieldsNoScanlines) {
+  const std::vector<ChannelSymbol> symbols(50, ChannelSymbol::white());
+  const camera::Frame frame = capture_symbols(symbols, 2000, camera::ideal_profile());
+  EXPECT_TRUE(reduce_to_scanlines(frame, 5, 5).empty());
+  EXPECT_TRUE(reduce_to_scanlines(frame, 12, 7).empty());
+  // A range entirely outside the frame clamps to empty.
+  EXPECT_TRUE(reduce_to_scanlines(frame, frame.columns, frame.columns + 8).empty());
+  EXPECT_TRUE(reduce_to_scanlines(frame, -10, 0).empty());
+}
+
+TEST(ReduceToScanlines, FullFrameRoiMatchesPlainReduction) {
+  const std::vector<ChannelSymbol> symbols(100, ChannelSymbol::data(3));
+  const camera::Frame frame = capture_symbols(symbols, 2000, camera::ideal_profile());
+  const auto plain = reduce_to_scanlines(frame);
+  // Both the exact range and an over-wide range (clamped) must reproduce
+  // the full-frame reduction bit for bit.
+  const auto exact = reduce_to_scanlines(frame, 0, frame.columns);
+  const auto wide = reduce_to_scanlines(frame, -3, frame.columns + 3);
+  ASSERT_EQ(exact.size(), plain.size());
+  ASSERT_EQ(wide.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(exact[i].lightness, plain[i].lightness);
+    EXPECT_EQ(exact[i].chroma.a, plain[i].chroma.a);
+    EXPECT_EQ(exact[i].chroma.b, plain[i].chroma.b);
+    EXPECT_EQ(wide[i].lightness, plain[i].lightness);
+    EXPECT_EQ(wide[i].rgb.x, plain[i].rgb.x);
+  }
+}
+
+TEST(SegmentBands, BandMayEndExactlyAtLastRow) {
+  // A uniform frame's single band must close at the frame boundary with
+  // its row extent inside [0, rows].
+  const std::vector<ChannelSymbol> symbols(200, ChannelSymbol::data(1));
+  const camera::Frame frame = capture_symbols(symbols, 2000, camera::ideal_profile());
+  const auto bands = segment_bands(frame, reduce_to_scanlines(frame), {});
+  ASSERT_FALSE(bands.empty());
+  const Band& last = bands.back();
+  EXPECT_EQ(last.start_row + last.row_count, frame.rows);
+  EXPECT_GT(last.end_time_s, last.start_time_s);
+}
+
+TEST(BandsToSlots, NonPositiveSymbolRateYieldsNoSlots) {
+  std::vector<Band> bands;
+  Band band;
+  band.start_time_s = 0.0;
+  band.end_time_s = 0.050;
+  bands.push_back(band);
+  EXPECT_TRUE(bands_to_slots(bands, 0.0).empty());
+  EXPECT_TRUE(bands_to_slots(bands, -1000.0).empty());
+  EXPECT_TRUE(bands_to_slots(bands, std::numeric_limits<double>::quiet_NaN()).empty());
+}
+
+TEST(ExtractSlots, NonPositiveSymbolRateYieldsNoSlots) {
+  const std::vector<ChannelSymbol> symbols(60, ChannelSymbol::white());
+  const camera::Frame frame = capture_symbols(symbols, 2000, camera::ideal_profile());
+  EXPECT_TRUE(extract_slots(frame, 0.0).empty());
+  EXPECT_TRUE(extract_slots(frame, std::numeric_limits<double>::quiet_NaN()).empty());
+}
+
+TEST(ExtractSlots, FullFrameRoiMatchesPlainExtraction) {
+  std::vector<ChannelSymbol> symbols(80, ChannelSymbol::white());
+  symbols[30] = ChannelSymbol::off();
+  const camera::Frame frame = capture_symbols(symbols, 2000, camera::ideal_profile());
+  const auto plain = extract_slots(frame, 2000);
+  const auto roi = extract_slots(frame, 2000, 0, frame.columns);
+  ASSERT_EQ(roi.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(roi[i].slot, plain[i].slot);
+    EXPECT_EQ(roi[i].lightness, plain[i].lightness);
+    EXPECT_EQ(roi[i].chroma.a, plain[i].chroma.a);
+  }
 }
 
 TEST(ExtractSlots, VignettingDoesNotBreakChroma) {

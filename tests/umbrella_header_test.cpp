@@ -32,6 +32,10 @@ TEST(UmbrellaHeader, ExposesTheWholePublicSurface) {
   EXPECT_EQ(fsk.bits_per_symbol(), 3);
   core::LinkConfig link;
   EXPECT_EQ(link.transmitter_config().format.order, link.order);
+  const adapt::LinkQuality quality;
+  EXPECT_FALSE(quality.header_loss_valid);
+  const scene::SceneSpec scene_spec;
+  EXPECT_TRUE(scene_spec.luminaires.empty());
 }
 
 }  // namespace

@@ -7,7 +7,8 @@
 #      path (parallel_for regions, shared-pool resizing, concurrent
 #      const reads of EmissionTrace prefix sums during frame synthesis,
 #      BufferPool acquire/release from prefetch refills, concurrent
-#      const OpticalChannel queries from parallel row integrals).
+#      const OpticalChannel queries from parallel row integrals, and the
+#      scene path's per-ROI decode fan-out over the shared pool).
 #
 # The two instrumentations are mutually exclusive, so each gets its own
 # build tree under build-asan/ and build-tsan/. Usage:
@@ -22,8 +23,8 @@ jobs="${1:-$(nproc)}"
 # TSan must cover the concurrency surface: if a rename/move ever drops
 # one of these suites from the binary, fail the run instead of silently
 # shrinking coverage.
-tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt)
-tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*'
+tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt Scene SceneTracker)
+tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*:Scene.*:SceneTracker.*'
 
 build_suite() {
   local build_dir="$1" cmake_flag="$2"
