@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "colorbars/protocol/symbols.hpp"
 #include "colorbars/rs/reed_solomon.hpp"
 #include "colorbars/rx/band_extractor.hpp"
+#include "colorbars/simd/simd.hpp"
 #include "colorbars/util/rng.hpp"
 
 using namespace colorbars;
@@ -229,14 +232,130 @@ void BM_PipelineFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineFrame)->Arg(0)->Arg(1);
 
+// The ΔE fan-out of the nearest-reference symbol decision: one
+// observation against a full classifier batch of references.
+void BM_SimdDeltaE(benchmark::State& state) {
+  util::Xoshiro256 rng(13);
+  constexpr int kRefs = 64;
+  std::vector<double> ref_a(kRefs), ref_b(kRefs), dist(kRefs);
+  for (int i = 0; i < kRefs; ++i) {
+    ref_a[static_cast<std::size_t>(i)] = rng.uniform(-90.0, 90.0);
+    ref_b[static_cast<std::size_t>(i)] = rng.uniform(-90.0, 90.0);
+  }
+  std::vector<std::pair<double, double>> observations(1024);
+  for (auto& [a, b] : observations) {
+    a = rng.uniform(-90.0, 90.0);
+    b = rng.uniform(-90.0, 90.0);
+  }
+  for (auto _ : state) {
+    for (const auto& [a, b] : observations) {
+      simd::delta_e_ab_many(ref_a.data(), ref_b.data(), kRefs, a, b, dist.data());
+      benchmark::DoNotOptimize(dist.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(observations.size()) * kRefs);
+}
+BENCHMARK(BM_SimdDeltaE);
+
+// --compare mode (or COLORBARS_BENCH_COMPARE=1): pin each supported
+// simd backend in turn and rerun the four dispatched kernels in this
+// same process, so scalar-vs-vector numbers land side by side in one
+// BENCH_micro.json under names like "BM_FrameReduceToScanlines/avx2".
+template <typename Body>
+void register_compare(const char* name, simd::Backend backend, Body body) {
+  benchmark::RegisterBenchmark(
+      (std::string(name) + "/" + simd::backend_name(backend)).c_str(),
+      [backend, body](benchmark::State& state) {
+        const simd::Backend saved = simd::active_backend();
+        simd::set_backend(backend);
+        body(state);
+        simd::set_backend(saved);
+      });
+}
+
+void register_compare_benchmarks() {
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kSse42, simd::Backend::kAvx2,
+        simd::Backend::kNeon}) {
+    if (!simd::backend_supported(backend)) continue;
+
+    register_compare("BM_FrameReduceToScanlines", backend, [](benchmark::State& state) {
+      const camera::Frame frame = captured_frame();
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(rx::reduce_to_scanlines(frame));
+      }
+      state.SetItemsProcessed(state.iterations() * frame.rows * frame.columns);
+    });
+
+    register_compare("BM_BayerDemosaic", backend, [](benchmark::State& state) {
+      // demosaic_into with a reused output, like the pipeline's pooled
+      // RenderScratch path — fresh-allocation cost would bury the kernel.
+      const int rows = 2448;
+      const int columns = 64;
+      util::Xoshiro256 rng(2);
+      std::vector<double> raw(static_cast<std::size_t>(rows) * columns);
+      for (auto& value : raw) value = rng.uniform();
+      camera::FloatImage rgb;
+      for (auto _ : state) {
+        camera::demosaic_into(raw, rows, columns, rgb);
+        benchmark::DoNotOptimize(rgb);
+      }
+      state.SetItemsProcessed(state.iterations() * rows * columns);
+    });
+
+    register_compare("BM_RowLabRgbSums", backend, [](benchmark::State& state) {
+      util::Xoshiro256 rng(1);
+      std::vector<color::Rgb8> pixels(4096);
+      for (auto& pixel : pixels) {
+        pixel = {static_cast<std::uint8_t>(rng.below(256)),
+                 static_cast<std::uint8_t>(rng.below(256)),
+                 static_cast<std::uint8_t>(rng.below(256))};
+      }
+      for (auto _ : state) {
+        simd::RowSums sums;
+        simd::row_lab_rgb_sums(pixels.data(), static_cast<int>(pixels.size()), sums);
+        benchmark::DoNotOptimize(sums);
+      }
+      state.SetItemsProcessed(state.iterations() * static_cast<long long>(pixels.size()));
+    });
+
+    register_compare("BM_VignetteSignalSpan", backend, [](benchmark::State& state) {
+      util::Xoshiro256 rng(14);
+      constexpr int kColumns = 2448;
+      std::vector<double> col2(kColumns), out(kColumns);
+      for (auto& value : col2) value = rng.uniform();
+      for (auto _ : state) {
+        simd::vignette_signal_span(col2.data(), 0, kColumns, 0.41, 0.4, 0.83, 0.27,
+                                   out.data());
+        benchmark::DoNotOptimize(out.data());
+      }
+      state.SetItemsProcessed(state.iterations() * kColumns);
+    });
+
+    register_compare("BM_SimdDeltaE", backend, BM_SimdDeltaE);
+  }
+}
+
 }  // namespace
 
 // Custom main: mirror the console run into BENCH_micro.json so the
 // per-stage timings land in a machine-readable artifact alongside the
 // human-readable table. An explicit --benchmark_out flag wins over the
 // default; all other standard --benchmark_* flags pass through.
+// --compare (or COLORBARS_BENCH_COMPARE=1) additionally registers
+// per-backend variants of the dispatched kernels.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  bool compare = std::getenv("COLORBARS_BENCH_COMPARE") != nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--compare") == 0) {
+      compare = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (compare) register_compare_benchmarks();
   std::string out_flag =
       "--benchmark_out=" + colorbars::bench::bench_json_path("micro");
   std::string format_flag = "--benchmark_out_format=json";

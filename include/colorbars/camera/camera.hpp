@@ -17,6 +17,7 @@
 #include "colorbars/camera/profile.hpp"
 #include "colorbars/channel/channel.hpp"
 #include "colorbars/led/emission.hpp"
+#include "colorbars/util/arena.hpp"
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars::camera {
@@ -50,6 +51,13 @@ struct RenderScratch {
   /// laid out emitter-major (emitter * rows + row). Unused (and left
   /// untouched) by the single-trace render path.
   std::vector<led::Vec3> region_rows;
+  /// Per-frame bump allocator for row-shaped transients (the vignetted
+  /// signal and shot-sigma rows of the mosaic stage). Reset at the start
+  /// of every frame; after the first frame every row comes back from the
+  /// same 64-byte-aligned block, so the SIMD kernels stay on the aligned
+  /// fast path and nothing reallocates. arena.stats() exposes
+  /// reuse/peak counters the streaming layer aggregates.
+  util::CaptureArena arena;
 };
 
 /// One luminaire of a multi-emitter scene: the sensor rectangle its
@@ -178,6 +186,18 @@ class RollingShutterCamera {
   /// Vignetting gain at a pixel (1 at center, 1 - strength at corners,
   /// clamped at 0 so an extreme profile cannot produce negative charge).
   [[nodiscard]] double vignette_gain(int row, int column) const noexcept;
+
+  /// Precomputed squared normalized distances of every row / column from
+  /// the sensor center — the separable halves of the vignette model
+  /// (gain(r, c) = 1 - strength * 0.5 * (row_sq[r] + col_sq[c]), clamped
+  /// at 0). Exposed so the row-batched mosaic stage can hand whole rows
+  /// to simd::vignette_signal_span.
+  [[nodiscard]] std::span<const double> vignette_row_sq() const noexcept {
+    return vignette_row2_;
+  }
+  [[nodiscard]] std::span<const double> vignette_col_sq() const noexcept {
+    return vignette_col2_;
+  }
 
  private:
   /// Linear sensor RGB for one scanline's exposure window, before noise.

@@ -29,6 +29,23 @@ namespace colorbars::color {
 /// Exact linear value of each 8-bit sRGB code (srgb_decode(v / 255)).
 [[nodiscard]] const std::array<double, 256>& srgb_decode_table() noexcept;
 
+/// Number of samples of the interpolated CIE f() table (4096 intervals
+/// over [0, 1], endpoints included).
+inline constexpr int kLabFTableSamples = 4097;
+
+/// The raw f() sample table behind lab_f_fast, exposed so the SIMD
+/// backends can gather from the exact same values the scalar chain
+/// interpolates (byte-identity requires sharing the table, not
+/// rebuilding it).
+[[nodiscard]] const std::array<double, kLabFTableSamples>& lab_f_table_values() noexcept;
+
+/// The per-channel pixel -> white-normalized-XYZ contribution tables
+/// behind rgb8_to_lab_fast: contributions[channel][code] is the XYZ/Wn
+/// contribution of an 8-bit channel value. Exposed for the same
+/// byte-identity reason as lab_f_table_values.
+[[nodiscard]] const std::array<std::array<Vec3, 256>, 3>&
+rgb8_lab_contributions() noexcept;
+
 /// Exact linear RGB of an 8-bit pixel via the decode table.
 [[nodiscard]] Vec3 linear_of_rgb8(const Rgb8& pixel) noexcept;
 

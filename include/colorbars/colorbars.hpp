@@ -5,6 +5,7 @@
 // For faster builds include only what you use; the per-module headers
 // are listed in dependency order below.
 
+#include "colorbars/util/arena.hpp"     // per-frame bump allocator
 #include "colorbars/util/bitio.hpp"     // bit-level serialization
 #include "colorbars/util/rng.hpp"       // deterministic randomness
 #include "colorbars/util/vec3.hpp"      // small linear algebra
@@ -32,6 +33,8 @@
 
 #include "colorbars/flicker/bloch.hpp"        // flicker perception model
 #include "colorbars/flicker/requirement.hpp"  // Fig. 3b solver
+
+#include "colorbars/simd/simd.hpp"  // runtime-dispatched per-pixel kernels
 
 #include "colorbars/channel/channel.hpp"  // optical channel (radiance stages)
 

@@ -6,10 +6,12 @@
 // segments the scanlines into color bands, and maps each band onto the
 // global symbol-slot timeline using the camera's own row timing.
 
+#include <span>
 #include <vector>
 
 #include "colorbars/camera/image.hpp"
 #include "colorbars/color/lab.hpp"
+#include "colorbars/util/arena.hpp"
 
 namespace colorbars::rx {
 
@@ -63,9 +65,19 @@ struct ExtractorConfig {
                                                              int column_begin,
                                                              int column_end);
 
+/// Arena-backed variant: resets `arena` (per-frame lifetime) and writes
+/// the scanlines into 64-byte-aligned storage carved from it. The
+/// returned span is valid until the arena's next reset — i.e. until the
+/// next frame through the same owner.
+[[nodiscard]] std::span<const ScanlineColor> reduce_to_scanlines(
+    const camera::Frame& frame, int column_begin, int column_end,
+    util::CaptureArena& arena);
+
 /// Segments scanline colors into bands and attaches stream-time extents.
+/// Takes a span so callers can pass pooled/arena-backed scanline storage
+/// without materializing a std::vector.
 [[nodiscard]] std::vector<Band> segment_bands(const camera::Frame& frame,
-                                              const std::vector<ScanlineColor>& scanlines,
+                                              std::span<const ScanlineColor> scanlines,
                                               const ExtractorConfig& config = {});
 
 /// Projects bands onto the symbol-slot timeline: each band contributes
@@ -86,6 +98,16 @@ struct ExtractorConfig {
 [[nodiscard]] std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
                                                          double symbol_rate_hz,
                                                          int column_begin, int column_end,
+                                                         const ExtractorConfig& config = {});
+
+/// Arena-backed front-end: scanline scratch comes from `arena` instead
+/// of a per-call vector (rx::StreamingReceiver threads its per-stream
+/// arena through here, so a long capture's reduction scratch is one
+/// recycled allocation).
+[[nodiscard]] std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
+                                                         double symbol_rate_hz,
+                                                         int column_begin, int column_end,
+                                                         util::CaptureArena& arena,
                                                          const ExtractorConfig& config = {});
 
 }  // namespace colorbars::rx

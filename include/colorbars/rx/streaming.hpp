@@ -35,6 +35,7 @@
 
 #include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/rx/receiver.hpp"
+#include "colorbars/util/arena.hpp"
 
 namespace colorbars::rx {
 
@@ -68,6 +69,13 @@ struct StreamingStats {
   long long pool_frame_hits = 0;       ///< pooled frame buffers recycled
   long long pool_frame_misses = 0;     ///< frame buffers freshly allocated
   long long peak_resident_frames = 0;  ///< high-water mark of live frames
+  // Capture-arena counters of this stream's scanline scratch (see
+  // util::CaptureArena::Stats): every push_frame resets the arena once,
+  // and a reuse hit means the frame's reduction ran without touching
+  // the allocator.
+  long long arena_resets = 0;
+  long long arena_reuse_hits = 0;
+  long long arena_peak_bytes = 0;  ///< largest one-frame scratch footprint
 };
 
 class StreamingReceiver : public pipeline::FrameSink {
@@ -166,6 +174,9 @@ class StreamingReceiver : public pipeline::FrameSink {
   void ingest_slots(const std::vector<SlotObservation>& slots);
 
   Receiver receiver_;
+  /// Per-stream scratch arena for the frame reduction (scanline colors);
+  /// reset once per pushed frame, surfaced through stats().
+  util::CaptureArena arena_;
   StreamingConfig stream_config_;
   /// Sliding window of observations. base_slot tracks eviction; valid
   /// once the first observation arrives.

@@ -44,6 +44,12 @@ struct SceneDecodeTotals {
   long long packets = 0;
   long long packets_ok = 0;
   std::size_t payload_bytes = 0;
+  // Capture-arena counters summed (peak: maxed) over every lane's
+  // streaming receiver — proof the per-lane reduction scratch recycles
+  // instead of reallocating per frame.
+  long long arena_resets = 0;
+  long long arena_reuse_hits = 0;
+  long long arena_peak_bytes = 0;
 };
 
 class SceneReceiver final : public pipeline::FrameSink {

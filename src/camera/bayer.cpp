@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "colorbars/simd/simd.hpp"
+
 namespace colorbars::camera {
 
 std::vector<double> mosaic(const FloatImage& rgb) {
@@ -95,52 +97,12 @@ void demosaic_into(const std::vector<double>& raw, int rows, int columns,
 
   // Interior fast path: away from the border every RGGB phase has a
   // fixed in-bounds neighbor set, so the per-neighbor bounds and channel
-  // checks fold away. Sums accumulate in the same order neighbor_mean
-  // visits its offset table, keeping the result bit-identical.
-  for (int r = 1; r + 1 < rows; ++r) {
-    const double* up = &raw[static_cast<std::size_t>(r - 1) * static_cast<std::size_t>(columns)];
-    const double* mid = up + columns;
-    const double* down = mid + columns;
-    const bool even_row = (r % 2) == 0;
-    for (int c = 1; c + 1 < columns; ++c) {
-      const double own = mid[c];
-      const bool even_col = (c % 2) == 0;
-      util::Vec3 pixel;
-      if (even_row && even_col) {  // red site
-        double green = up[c];
-        green += mid[c - 1];
-        green += mid[c + 1];
-        green += down[c];
-        double blue = up[c - 1];
-        blue += up[c + 1];
-        blue += down[c - 1];
-        blue += down[c + 1];
-        pixel = {own, green / 4, blue / 4};
-      } else if (!even_row && !even_col) {  // blue site
-        double red = up[c - 1];
-        red += up[c + 1];
-        red += down[c - 1];
-        red += down[c + 1];
-        double green = up[c];
-        green += mid[c - 1];
-        green += mid[c + 1];
-        green += down[c];
-        pixel = {red / 4, green / 4, own};
-      } else if (even_row) {  // green site between reds horizontally
-        double red = mid[c - 1];
-        red += mid[c + 1];
-        double blue = up[c];
-        blue += down[c];
-        pixel = {red / 2, own, blue / 2};
-      } else {  // green site between reds vertically
-        double red = up[c];
-        red += down[c];
-        double blue = mid[c - 1];
-        blue += mid[c + 1];
-        pixel = {red / 2, own, blue / 2};
-      }
-      rgb.at(r, c) = pixel;
-    }
+  // checks fold away. The kernel's scalar reference accumulates sums in
+  // the same order neighbor_mean visits its offset table, and the vector
+  // backends are proven byte-identical to it, so the result stays
+  // bit-identical to the original loop.
+  if (rows > 2 && columns > 2) {
+    simd::demosaic_interior(raw.data(), rows, columns, &rgb.at(0, 0).x);
   }
 
   // Border pixels go through the generic bounds-checked path.

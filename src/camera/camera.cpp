@@ -8,6 +8,7 @@
 #include "colorbars/color/lut.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/simd/simd.hpp"
 
 namespace colorbars::camera {
 
@@ -99,40 +100,59 @@ Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double re
 
 namespace {
 
+/// Bayer-plane responses of one row: with RGGB phasing a row only ever
+/// exposes two of the three channels, alternating by column parity —
+/// even rows see (R, G), odd rows see (G, B).
+struct RowBayerValues {
+  double even;  ///< response at even columns
+  double odd;   ///< response at odd columns
+};
+
+[[nodiscard]] inline RowBayerValues row_bayer_values(int row, const Vec3& response) noexcept {
+  return (row % 2) == 0 ? RowBayerValues{response.x, response.y}
+                        : RowBayerValues{response.y, response.z};
+}
+
 /// The back half of every frame render — vignette, Bayer mosaic with
 /// shot/read noise, demosaic, sRGB quantize, metadata stamp — shared by
-/// the single-trace and scene-composite paths. `response_at(r, c)` is
-/// the pre-noise linear sensor response of pixel (r, c); it is sampled
-/// in row-major order with exactly two rng.normal() draws per pixel, so
-/// any path funneled through here keeps the frozen golden captures
-/// byte-identical.
-template <typename ResponseAt>
+/// the single-trace and scene-composite paths. `fill_signal_row(r, out)`
+/// writes the vignetted pre-noise Bayer signal of row r into
+/// out[0..columns) (callers use simd::vignette_signal_span per
+/// constant-response column span). Noise then draws exactly two
+/// rng.normal() per pixel in row-major order, so any path funneled
+/// through here keeps the frozen golden captures byte-identical.
+template <typename FillSignalRow>
 void mosaic_and_encode(const RollingShutterCamera& camera, const ExposureSettings& settings,
-                       double start_time_s, int frame_index, ResponseAt&& response_at,
+                       double start_time_s, int frame_index, FillSignalRow&& fill_signal_row,
                        util::Xoshiro256& rng, Frame& out, RenderScratch& scratch) {
   const SensorProfile& profile = camera.profile();
   const double row_time = profile.row_time_s();
   const double iso_gain = settings.iso / 100.0;
+  const int columns = profile.columns;
 
   std::vector<double>& raw = scratch.raw;
-  raw.resize(checked_image_size(profile.rows, profile.columns));
+  raw.resize(checked_image_size(profile.rows, columns));
   const double read_sigma = profile.read_noise * iso_gain;
+
+  // Row-shaped transients come from the per-frame arena: 64-byte
+  // aligned (SIMD fast path) and recycled across frames without
+  // touching the allocator.
+  scratch.arena.reset();
+  const std::span<double> signal_row =
+      scratch.arena.allocate<double>(static_cast<std::size_t>(columns));
+  const std::span<double> sigma_row =
+      scratch.arena.allocate<double>(static_cast<std::size_t>(columns));
+
   for (int r = 0; r < profile.rows; ++r) {
-    for (int c = 0; c < profile.columns; ++c) {
-      const Vec3 response = response_at(r, c);
-      double signal = 0.0;
-      switch (bayer_channel(r, c)) {
-        case BayerChannel::kRed: signal = response.x; break;
-        case BayerChannel::kGreen: signal = response.y; break;
-        case BayerChannel::kBlue: signal = response.z; break;
-      }
-      signal *= camera.vignette_gain(r, c);
-      const double shot_sigma = std::sqrt(std::max(signal, 0.0) * iso_gain /
-                                          profile.well_capacity);
-      const double noisy =
-          signal + rng.normal() * shot_sigma + rng.normal() * read_sigma;
-      raw[static_cast<std::size_t>(r) * static_cast<std::size_t>(profile.columns) +
-          static_cast<std::size_t>(c)] = std::clamp(noisy, 0.0, 1.0);
+    fill_signal_row(r, signal_row.data());
+    simd::shot_sigma_row(signal_row.data(), columns, iso_gain, profile.well_capacity,
+                         sigma_row.data());
+    double* raw_row = raw.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(columns);
+    for (int c = 0; c < columns; ++c) {
+      const double noisy = signal_row[static_cast<std::size_t>(c)] +
+                           rng.normal() * sigma_row[static_cast<std::size_t>(c)] +
+                           rng.normal() * read_sigma;
+      raw_row[c] = std::clamp(noisy, 0.0, 1.0);
     }
   }
 
@@ -192,9 +212,21 @@ void RollingShutterCamera::render_frame_into(const led::EmissionTrace& trace,
     row_response[static_cast<std::size_t>(r)] = expose_row(trace, read_time, settings);
   }
 
+  // The close-range LED floods the field of view, so one row's response
+  // is constant across columns: the whole row is a single
+  // constant-response span for the vignette kernel.
+  const std::span<const double> row_sq = vignette_row_sq();
+  const std::span<const double> col_sq = vignette_col_sq();
   mosaic_and_encode(
       *this, settings, start_time_s, frame_index,
-      [&row_response](int r, int) { return row_response[static_cast<std::size_t>(r)]; },
+      [&](int r, double* out_row) {
+        const RowBayerValues values =
+            row_bayer_values(r, row_response[static_cast<std::size_t>(r)]);
+        simd::vignette_signal_span(col_sq.data(), 0, profile_.columns,
+                                   row_sq[static_cast<std::size_t>(r)],
+                                   profile_.vignette_strength, values.even, values.odd,
+                                   out_row);
+      },
       rng, out, scratch);
 }
 
@@ -273,16 +305,43 @@ void RollingShutterCamera::render_scene_frame_into(std::span<const RegionEmitter
     }
   }
 
+  // Within one row the response is piecewise constant: it only changes
+  // at emitter rectangle edges. Sweep the row's column spans and hand
+  // each constant-response span to the vignette kernel; the span sum
+  // adds ambient plus containing emitters in ascending order, exactly
+  // like the old per-pixel walk, so the composite stays bit-identical.
+  const std::span<const double> row_sq = vignette_row_sq();
+  const std::span<const double> col_sq = vignette_col_sq();
+  std::vector<int> edges;
+  edges.reserve(2 * emitters.size() + 2);
   mosaic_and_encode(
       *this, settings, start_time_s, frame_index,
-      [&](int r, int c) {
-        Vec3 response = ambient_rows[static_cast<std::size_t>(r)];
-        for (std::size_t e = 0; e < emitters.size(); ++e) {
-          if (emitters[e].region.contains(r, c)) {
-            response += region_rows[e * rows + static_cast<std::size_t>(r)];
-          }
+      [&](int r, double* out_row) {
+        edges.clear();
+        edges.push_back(0);
+        edges.push_back(profile_.columns);
+        for (const RegionEmitter& emitter : emitters) {
+          if (r < emitter.region.top || r >= emitter.region.row_end()) continue;
+          edges.push_back(std::clamp(emitter.region.left, 0, profile_.columns));
+          edges.push_back(std::clamp(emitter.region.column_end(), 0, profile_.columns));
         }
-        return response;
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+        for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+          const int span_begin = edges[i];
+          const int span_end = edges[i + 1];
+          Vec3 response = ambient_rows[static_cast<std::size_t>(r)];
+          for (std::size_t e = 0; e < emitters.size(); ++e) {
+            if (emitters[e].region.contains(r, span_begin)) {
+              response += region_rows[e * rows + static_cast<std::size_t>(r)];
+            }
+          }
+          const RowBayerValues values = row_bayer_values(r, response);
+          simd::vignette_signal_span(col_sq.data(), span_begin, span_end,
+                                     row_sq[static_cast<std::size_t>(r)],
+                                     profile_.vignette_strength, values.even, values.odd,
+                                     out_row);
+        }
       },
       rng, out, scratch);
 }

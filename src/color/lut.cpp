@@ -19,7 +19,7 @@ double lab_f_exact(double t) noexcept {
 
 // f() samples over [0, 1]. 4096 intervals keep the interpolation error
 // below 5e-6 even at the knee, where the curvature is largest.
-constexpr int kLabFSamples = 4097;
+constexpr int kLabFSamples = kLabFTableSamples;
 
 struct LabFTable {
   std::array<double, kLabFSamples> values{};
@@ -106,6 +106,14 @@ const QuantTables& quant_tables() noexcept {
 }
 
 }  // namespace
+
+const std::array<double, kLabFTableSamples>& lab_f_table_values() noexcept {
+  return lab_f_table().values;
+}
+
+const std::array<std::array<Vec3, 256>, 3>& rgb8_lab_contributions() noexcept {
+  return channel_tables().contributions;
+}
 
 const std::array<double, 256>& srgb_decode_table() noexcept {
   static const std::array<double, 256> table = [] {

@@ -6,12 +6,39 @@
 #include "colorbars/color/lut.hpp"
 #include "colorbars/color/srgb.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/simd/simd.hpp"
 
 namespace colorbars::rx {
 
 std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame) {
   return reduce_to_scanlines(frame, 0, frame.columns);
 }
+
+namespace {
+
+/// Shared reduction core: fills scanlines[r] for every frame row. The
+/// caller guarantees 0 <= begin < end <= frame.columns and
+/// scanlines.size() == frame.rows.
+void reduce_rows_into(const camera::Frame& frame, int begin, int end,
+                      std::span<ScanlineColor> scanlines) {
+  const double inv = 1.0 / (end - begin);
+  // Per-pixel Rgb8 -> Lab goes through the dispatched SIMD kernel over
+  // the table-driven fast path (exact 256-entry decode, interpolated
+  // CIE f) — the std::pow/cbrt chain was the hottest receiver cost.
+  // Rows are independent, so they fan out over the runtime pool; output
+  // is per-row, hence deterministic at any thread count.
+  runtime::parallel_for(0, frame.rows, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      simd::RowSums sums;
+      simd::row_lab_rgb_sums(&frame.at(static_cast<int>(r), begin), end - begin, sums);
+      scanlines[static_cast<std::size_t>(r)] = {{sums.a * inv, sums.b * inv},
+                                                sums.l * inv,
+                                                util::Vec3{sums.r, sums.g, sums.bb} * inv};
+    }
+  });
+}
+
+}  // namespace
 
 std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame,
                                                int column_begin, int column_end) {
@@ -23,35 +50,25 @@ std::vector<ScanlineColor> reduce_to_scanlines(const camera::Frame& frame,
   // downstream band decision, so return no scanlines instead.
   if (begin >= end || frame.rows <= 0) return scanlines;
   scanlines.resize(static_cast<std::size_t>(frame.rows));
-  const double inv = 1.0 / (end - begin);
-  // Per-pixel Rgb8 -> Lab goes through the table-driven fast path (exact
-  // 256-entry decode, interpolated CIE f) — the std::pow/cbrt chain was
-  // the hottest receiver cost. Rows are independent, so they fan out
-  // over the runtime pool; output is per-row, hence deterministic at
-  // any thread count.
-  runtime::parallel_for(0, frame.rows, 64, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t r = lo; r < hi; ++r) {
-      double sum_l = 0.0;
-      double sum_a = 0.0;
-      double sum_b = 0.0;
-      util::Vec3 sum_rgb;
-      for (int c = begin; c < end; ++c) {
-        const color::Rgb8& pixel = frame.at(static_cast<int>(r), c);
-        const color::Lab lab = color::rgb8_to_lab_fast(pixel);
-        sum_l += lab.L;
-        sum_a += lab.a;
-        sum_b += lab.b;
-        sum_rgb += color::from_rgb8(pixel);
-      }
-      scanlines[static_cast<std::size_t>(r)] = {{sum_a * inv, sum_b * inv}, sum_l * inv,
-                                                sum_rgb * inv};
-    }
-  });
+  reduce_rows_into(frame, begin, end, scanlines);
+  return scanlines;
+}
+
+std::span<const ScanlineColor> reduce_to_scanlines(const camera::Frame& frame,
+                                                   int column_begin, int column_end,
+                                                   util::CaptureArena& arena) {
+  arena.reset();
+  const int begin = std::max(column_begin, 0);
+  const int end = std::min(column_end, frame.columns);
+  if (begin >= end || frame.rows <= 0) return {};
+  const std::span<ScanlineColor> scanlines =
+      arena.allocate<ScanlineColor>(static_cast<std::size_t>(frame.rows));
+  reduce_rows_into(frame, begin, end, scanlines);
   return scanlines;
 }
 
 std::vector<Band> segment_bands(const camera::Frame& frame,
-                                const std::vector<ScanlineColor>& scanlines,
+                                std::span<const ScanlineColor> scanlines,
                                 const ExtractorConfig& config) {
   std::vector<Band> bands;
   if (scanlines.empty()) return bands;
@@ -158,6 +175,16 @@ std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
                                            int column_end, const ExtractorConfig& config) {
   const std::vector<ScanlineColor> scanlines =
       reduce_to_scanlines(frame, column_begin, column_end);
+  const std::vector<Band> bands = segment_bands(frame, scanlines, config);
+  return bands_to_slots(bands, symbol_rate_hz);
+}
+
+std::vector<SlotObservation> extract_slots(const camera::Frame& frame,
+                                           double symbol_rate_hz, int column_begin,
+                                           int column_end, util::CaptureArena& arena,
+                                           const ExtractorConfig& config) {
+  const std::span<const ScanlineColor> scanlines =
+      reduce_to_scanlines(frame, column_begin, column_end, arena);
   const std::vector<Band> bands = segment_bands(frame, scanlines, config);
   return bands_to_slots(bands, symbol_rate_hz);
 }

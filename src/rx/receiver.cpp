@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "colorbars/simd/simd.hpp"
+
 namespace colorbars::rx {
 
 using protocol::ChannelSymbol;
@@ -90,16 +92,52 @@ int Receiver::classify_data(const SlotObservation& observation,
   int best_index = 0;
   double best_distance = std::numeric_limits<double>::infinity();
   double second_distance = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < store_.symbol_count(); ++i) {
-    const auto reference = store_.reference_color(i);
-    if (!reference.has_value()) continue;
-    const double d = store_.distance(observation, *reference);
-    if (d < best_distance) {
-      second_distance = best_distance;
-      best_distance = d;
-      best_index = i;
-    } else if (d < second_distance) {
-      second_distance = d;
+  const int count = store_.symbol_count();
+  // Fast path for the production metric: gather the learned references
+  // into a stack SoA and fan the ΔE(ab) computation out through the
+  // dispatched kernel, then run the identical ascending best/second scan
+  // over the batched distances. Constellations are tiny (4/8/16
+  // symbols), so 64 covers every configuration; anything larger or any
+  // other metric takes the original per-reference path.
+  constexpr int kMaxBatch = 64;
+  if (store_.config().matching_space == MatchingSpace::kCielabAB && count <= kMaxBatch) {
+    double ref_a[kMaxBatch] = {};
+    double ref_b[kMaxBatch] = {};
+    double dist[kMaxBatch];
+    int symbol_of[kMaxBatch];
+    int learned = 0;
+    for (int i = 0; i < count; ++i) {
+      const auto reference = store_.reference_color(i);
+      if (!reference.has_value()) continue;
+      ref_a[learned] = reference->chroma.a;
+      ref_b[learned] = reference->chroma.b;
+      symbol_of[learned] = i;
+      ++learned;
+    }
+    simd::delta_e_ab_many(ref_a, ref_b, learned, observation.chroma.a,
+                          observation.chroma.b, dist);
+    for (int j = 0; j < learned; ++j) {
+      const double d = dist[j];
+      if (d < best_distance) {
+        second_distance = best_distance;
+        best_distance = d;
+        best_index = symbol_of[j];
+      } else if (d < second_distance) {
+        second_distance = d;
+      }
+    }
+  } else {
+    for (int i = 0; i < count; ++i) {
+      const auto reference = store_.reference_color(i);
+      if (!reference.has_value()) continue;
+      const double d = store_.distance(observation, *reference);
+      if (d < best_distance) {
+        second_distance = best_distance;
+        best_distance = d;
+        best_index = i;
+      } else if (d < second_distance) {
+        second_distance = d;
+      }
     }
   }
   if (margin_out != nullptr) {

@@ -26,14 +26,17 @@ long long StreamingReceiver::tail_keep_slots() const noexcept {
 }
 
 void StreamingReceiver::push_frame(const camera::Frame& frame) {
-  ingest_slots(extract_slots(frame, receiver_.config().symbol_rate_hz,
-                             receiver_.config().extractor));
+  push_frame(frame, 0, frame.columns);
 }
 
 void StreamingReceiver::push_frame(const camera::Frame& frame, int column_begin,
                                    int column_end) {
   ingest_slots(extract_slots(frame, receiver_.config().symbol_rate_hz, column_begin,
-                             column_end, receiver_.config().extractor));
+                             column_end, arena_, receiver_.config().extractor));
+  const util::CaptureArena::Stats& arena = arena_.stats();
+  stats_.arena_resets = arena.resets;
+  stats_.arena_reuse_hits = arena.reuse_hits;
+  stats_.arena_peak_bytes = static_cast<long long>(arena.peak_bytes);
 }
 
 void StreamingReceiver::ingest_slots(const std::vector<SlotObservation>& slots) {

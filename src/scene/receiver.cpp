@@ -80,6 +80,10 @@ SceneDecodeTotals SceneReceiver::totals() const {
       if (record.ok) ++totals.packets_ok;
     }
     totals.payload_bytes += report.payload.size();
+    const rx::StreamingStats& stats = lane.receiver->stats();
+    totals.arena_resets += stats.arena_resets;
+    totals.arena_reuse_hits += stats.arena_reuse_hits;
+    totals.arena_peak_bytes = std::max(totals.arena_peak_bytes, stats.arena_peak_bytes);
   }
   return totals;
 }

@@ -1,0 +1,282 @@
+// AVX2 backend: 4 double lanes per step. Compiled with -mavx2 but
+// WITHOUT -mfma — byte-identity with the scalar reference depends on
+// a*b+c staying a rounded multiply followed by a rounded add, and the
+// compiler cannot contract what the ISA it was given cannot encode.
+// Every kernel mirrors the scalar reference's per-element operation
+// order exactly (lanes are pixels for the pointwise maps; reductions
+// accumulate per-pixel vectors in pixel order), and falls back to the
+// scalar segment helpers for the sub-width head/tail of any range, so
+// odd widths and unaligned column starts are handled without masked or
+// aligned loads.
+
+#include <immintrin.h>
+
+#include "kernels.hpp"
+
+namespace colorbars::simd::detail {
+
+namespace {
+
+void demosaic_interior_avx2(const double* raw, int rows, int columns, double* rgb_out) {
+  // The reference divides by 4.0 and 2.0; multiplying by 0.25 / 0.5 is
+  // bit-identical (power-of-two reciprocals are exact, and correctly
+  // rounding the same real value gives the same double) and trades the
+  // non-pipelined divider for one multiply per mean.
+  if (rows <= 2 || columns <= 2) return;
+  const __m256d quarter = _mm256_set1_pd(0.25);
+  const __m256d half = _mm256_set1_pd(0.5);
+  for (int r = 1; r + 1 < rows; ++r) {
+    const double* up =
+        raw + static_cast<std::size_t>(r - 1) * static_cast<std::size_t>(columns);
+    const double* mid = up + columns;
+    const double* down = mid + columns;
+    const bool even_row = (r % 2) == 0;
+    double* out_row = rgb_out + static_cast<std::size_t>(r) *
+                                    static_cast<std::size_t>(columns) * 3;
+    int c = 1;
+    // Lane block [c, c+4) reads columns [c-1, c+4]; the last full block
+    // ends at columns-2, so every load stays inside the row.
+    for (; c + 3 <= columns - 2; c += 4) {
+      const __m256d up_l = _mm256_loadu_pd(up + c - 1);
+      const __m256d up_m = _mm256_loadu_pd(up + c);
+      const __m256d up_r = _mm256_loadu_pd(up + c + 1);
+      const __m256d mid_l = _mm256_loadu_pd(mid + c - 1);
+      const __m256d own = _mm256_loadu_pd(mid + c);
+      const __m256d mid_r = _mm256_loadu_pd(mid + c + 1);
+      const __m256d down_l = _mm256_loadu_pd(down + c - 1);
+      const __m256d down_m = _mm256_loadu_pd(down + c);
+      const __m256d down_r = _mm256_loadu_pd(down + c + 1);
+
+      // The four neighbor means of the scalar reference, with its exact
+      // accumulation order: ((up + left) + right) + down for the plus
+      // pattern, ((ul + ur) + dl) + dr for the diagonals.
+      const __m256d g4 = _mm256_mul_pd(
+          _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(up_m, mid_l), mid_r), down_m),
+          quarter);
+      const __m256d diag4 = _mm256_mul_pd(
+          _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(up_l, up_r), down_l), down_r),
+          quarter);
+      const __m256d horiz2 = _mm256_mul_pd(_mm256_add_pd(mid_l, mid_r), half);
+      const __m256d vert2 = _mm256_mul_pd(_mm256_add_pd(up_m, down_m), half);
+
+      // c starts odd and steps by 4, so lanes 0,2 are odd columns and
+      // lanes 1,3 even ones — blend mask 0b1010 picks the even-column
+      // phase.
+      __m256d x, y, z;
+      if (even_row) {
+        // even col: red site {own, g4, diag4}; odd col: green site
+        // {horiz2, own, vert2}.
+        x = _mm256_blend_pd(horiz2, own, 0b1010);
+        y = _mm256_blend_pd(own, g4, 0b1010);
+        z = _mm256_blend_pd(vert2, diag4, 0b1010);
+      } else {
+        // even col: green site {vert2, own, horiz2}; odd col: blue site
+        // {diag4, g4, own}.
+        x = _mm256_blend_pd(diag4, vert2, 0b1010);
+        y = _mm256_blend_pd(g4, own, 0b1010);
+        z = _mm256_blend_pd(own, horiz2, 0b1010);
+      }
+
+      // SoA -> AoS: in-lane interleaves, then six 128-bit half stores —
+      // vextractf128-to-memory is a plain store uop, so this avoids the
+      // three cross-lane permutes an all-256-bit store path needs.
+      const __m256d xy_lo = _mm256_unpacklo_pd(x, y);      // x0 y0 | x2 y2
+      const __m256d zx = _mm256_shuffle_pd(z, x, 0b1010);  // z0 x1 | z2 x3
+      const __m256d yz = _mm256_shuffle_pd(y, z, 0b1111);  // y1 z1 | y3 z3
+      double* out = out_row + static_cast<std::size_t>(c) * 3;
+      _mm_storeu_pd(out, _mm256_castpd256_pd128(xy_lo));        // x0 y0
+      _mm_storeu_pd(out + 2, _mm256_castpd256_pd128(zx));       // z0 x1
+      _mm_storeu_pd(out + 4, _mm256_castpd256_pd128(yz));       // y1 z1
+      _mm_storeu_pd(out + 6, _mm256_extractf128_pd(xy_lo, 1));  // x2 y2
+      _mm_storeu_pd(out + 8, _mm256_extractf128_pd(zx, 1));     // z2 x3
+      _mm_storeu_pd(out + 10, _mm256_extractf128_pd(yz, 1));    // y3 z3
+    }
+    if (c < columns - 1) demosaic_row_segment(raw, columns, r, c, columns - 1, rgb_out);
+  }
+}
+
+/// Vector lab_f_fast over 4 lanes: gathered linear interpolation from
+/// the shared table, with the scalar chain's exact index truncation,
+/// top-sample clamp, and out-of-[0,1] fallback (fixed up lane-wise
+/// through color::lab_f_fast itself).
+__m256d lab_f_fast_4(__m256d t, const double* values) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d scale = _mm256_set1_pd(static_cast<double>(color::kLabFTableSamples - 1));
+  const __m256d in_range = _mm256_and_pd(_mm256_cmp_pd(t, zero, _CMP_GE_OQ),
+                                         _mm256_cmp_pd(t, one, _CMP_LE_OQ));
+  const __m256d scaled = _mm256_mul_pd(t, scale);
+  const __m128i index = _mm256_cvttpd_epi32(scaled);
+  // Clamp for the gathers only; lanes at the top sample or out of range
+  // are overridden below, so the clamped lerp they compute is discarded.
+  __m128i idx = _mm_max_epi32(index, _mm_setzero_si128());
+  idx = _mm_min_epi32(idx, _mm_set1_epi32(color::kLabFTableSamples - 2));
+  const __m256d v0 = _mm256_i32gather_pd(values, idx, 8);
+  const __m256d v1 = _mm256_i32gather_pd(values, _mm_add_epi32(idx, _mm_set1_epi32(1)), 8);
+  const __m256d fraction = _mm256_sub_pd(scaled, _mm256_cvtepi32_pd(idx));
+  __m256d result =
+      _mm256_add_pd(v0, _mm256_mul_pd(_mm256_sub_pd(v1, v0), fraction));
+  // index >= samples-1 (only t == 1.0 among in-range inputs) returns the
+  // top sample, exactly like the scalar chain.
+  const __m256d top_mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(
+      _mm_cmpgt_epi32(index, _mm_set1_epi32(color::kLabFTableSamples - 2))));
+  result = _mm256_blendv_pd(result, _mm256_set1_pd(values[color::kLabFTableSamples - 1]),
+                            top_mask);
+  const int out_of_range = _mm256_movemask_pd(in_range) ^ 0xF;
+  if (out_of_range != 0) {
+    alignas(32) double tv[4];
+    alignas(32) double rv[4];
+    _mm256_store_pd(tv, t);
+    _mm256_store_pd(rv, result);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((out_of_range & (1 << lane)) != 0) rv[lane] = color::lab_f_fast(tv[lane]);
+    }
+    result = _mm256_load_pd(rv);
+  }
+  return result;
+}
+
+void row_lab_rgb_sums_avx2(const color::Rgb8* pixels, int count, RowSums& sums) {
+  const LutSoA& lut = lut_soa();
+  // Accumulator lanes [L, a, b, r] and [g, b8]: adding one pixel's
+  // vector at a time keeps every component's additions in pixel order —
+  // the same dependency chain the scalar loop runs.
+  __m256d acc_labr = _mm256_set_pd(sums.r, sums.b, sums.a, sums.l);
+  __m128d acc_gb = _mm_set_pd(sums.bb, sums.g);
+  const __m256d c116 = _mm256_set1_pd(116.0);
+  const __m256d c16 = _mm256_set1_pd(16.0);
+  const __m256d c500 = _mm256_set1_pd(500.0);
+  const __m256d c200 = _mm256_set1_pd(200.0);
+  int i = 0;
+  for (; i + 3 < count; i += 4) {
+    const color::Rgb8 p0 = pixels[i];
+    const color::Rgb8 p1 = pixels[i + 1];
+    const color::Rgb8 p2 = pixels[i + 2];
+    const color::Rgb8 p3 = pixels[i + 3];
+    const __m128i ri = _mm_set_epi32(p3.r, p2.r, p1.r, p0.r);
+    const __m128i gi = _mm_set_epi32(p3.g, p2.g, p1.g, p0.g);
+    const __m128i bi = _mm_set_epi32(p3.b, p2.b, p1.b, p0.b);
+
+    // ratio = contrib[0][r] + contrib[1][g] + contrib[2][b], the scalar
+    // chain's (red + green) + blue order per XYZ component.
+    const __m256d rx = _mm256_add_pd(
+        _mm256_add_pd(_mm256_i32gather_pd(lut.contrib[0][0], ri, 8),
+                      _mm256_i32gather_pd(lut.contrib[1][0], gi, 8)),
+        _mm256_i32gather_pd(lut.contrib[2][0], bi, 8));
+    const __m256d ry = _mm256_add_pd(
+        _mm256_add_pd(_mm256_i32gather_pd(lut.contrib[0][1], ri, 8),
+                      _mm256_i32gather_pd(lut.contrib[1][1], gi, 8)),
+        _mm256_i32gather_pd(lut.contrib[2][1], bi, 8));
+    const __m256d rz = _mm256_add_pd(
+        _mm256_add_pd(_mm256_i32gather_pd(lut.contrib[0][2], ri, 8),
+                      _mm256_i32gather_pd(lut.contrib[1][2], gi, 8)),
+        _mm256_i32gather_pd(lut.contrib[2][2], bi, 8));
+
+    const __m256d fx = lab_f_fast_4(rx, lut.lab_f);
+    const __m256d fy = lab_f_fast_4(ry, lut.lab_f);
+    const __m256d fz = lab_f_fast_4(rz, lut.lab_f);
+    const __m256d labL = _mm256_sub_pd(_mm256_mul_pd(c116, fy), c16);
+    const __m256d labA = _mm256_mul_pd(c500, _mm256_sub_pd(fx, fy));
+    const __m256d labB = _mm256_mul_pd(c200, _mm256_sub_pd(fy, fz));
+
+    const __m256d encR = _mm256_i32gather_pd(lut.encode, ri, 8);
+    const __m256d encG = _mm256_i32gather_pd(lut.encode, gi, 8);
+    const __m256d encB = _mm256_i32gather_pd(lut.encode, bi, 8);
+
+    // Transpose (L, a, b, r) to per-pixel vectors and accumulate in
+    // pixel order.
+    const __m256d t0 = _mm256_unpacklo_pd(labL, labA);  // L0 a0 | L2 a2
+    const __m256d t1 = _mm256_unpackhi_pd(labL, labA);  // L1 a1 | L3 a3
+    const __m256d t2 = _mm256_unpacklo_pd(labB, encR);  // b0 r0 | b2 r2
+    const __m256d t3 = _mm256_unpackhi_pd(labB, encR);  // b1 r1 | b3 r3
+    acc_labr = _mm256_add_pd(acc_labr, _mm256_permute2f128_pd(t0, t2, 0x20));
+    acc_labr = _mm256_add_pd(acc_labr, _mm256_permute2f128_pd(t1, t3, 0x20));
+    acc_labr = _mm256_add_pd(acc_labr, _mm256_permute2f128_pd(t0, t2, 0x31));
+    acc_labr = _mm256_add_pd(acc_labr, _mm256_permute2f128_pd(t1, t3, 0x31));
+
+    const __m256d gb_lo = _mm256_unpacklo_pd(encG, encB);  // g0 b0 | g2 b2
+    const __m256d gb_hi = _mm256_unpackhi_pd(encG, encB);  // g1 b1 | g3 b3
+    acc_gb = _mm_add_pd(acc_gb, _mm256_castpd256_pd128(gb_lo));
+    acc_gb = _mm_add_pd(acc_gb, _mm256_castpd256_pd128(gb_hi));
+    acc_gb = _mm_add_pd(acc_gb, _mm256_extractf128_pd(gb_lo, 1));
+    acc_gb = _mm_add_pd(acc_gb, _mm256_extractf128_pd(gb_hi, 1));
+  }
+  alignas(32) double labr[4];
+  _mm256_store_pd(labr, acc_labr);
+  alignas(16) double gb[2];
+  _mm_store_pd(gb, acc_gb);
+  sums.l = labr[0];
+  sums.a = labr[1];
+  sums.b = labr[2];
+  sums.r = labr[3];
+  sums.g = gb[0];
+  sums.bb = gb[1];
+  if (i < count) row_lab_rgb_sums_segment(pixels + i, count - i, sums);
+}
+
+void vignette_signal_avx2(const double* col2, int column_begin, int column_end,
+                          double row2, double strength, double value_even,
+                          double value_odd, double* out_row) {
+  // c steps by 4, so the lane parity pattern is fixed by the parity of
+  // the first vectorized column.
+  const __m256d vals = (column_begin % 2) == 0
+                           ? _mm256_set_pd(value_odd, value_even, value_odd, value_even)
+                           : _mm256_set_pd(value_even, value_odd, value_even, value_odd);
+  int c = column_begin;
+  if (strength > 0.0) {
+    const __m256d r2 = _mm256_set1_pd(row2);
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d s = _mm256_set1_pd(strength);
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d zero = _mm256_setzero_pd();
+    for (; c + 3 < column_end; c += 4) {
+      const __m256d radial2 = _mm256_mul_pd(half, _mm256_add_pd(r2, _mm256_loadu_pd(col2 + c)));
+      const __m256d gain =
+          _mm256_max_pd(_mm256_sub_pd(one, _mm256_mul_pd(s, radial2)), zero);
+      _mm256_storeu_pd(out_row + c, _mm256_mul_pd(vals, gain));
+    }
+  } else {
+    // vignette_gain short-circuits to 1.0; v * 1.0 == v bit-for-bit.
+    for (; c + 3 < column_end; c += 4) _mm256_storeu_pd(out_row + c, vals);
+  }
+  vignette_signal_segment(col2, c, column_end, row2, strength, value_even, value_odd,
+                          out_row);
+}
+
+void shot_sigma_avx2(const double* signal, int count, double iso_gain,
+                     double well_capacity, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d gain = _mm256_set1_pd(iso_gain);
+  const __m256d well = _mm256_set1_pd(well_capacity);
+  int i = 0;
+  for (; i + 3 < count; i += 4) {
+    const __m256d s = _mm256_max_pd(_mm256_loadu_pd(signal + i), zero);
+    _mm256_storeu_pd(out + i,
+                     _mm256_sqrt_pd(_mm256_div_pd(_mm256_mul_pd(s, gain), well)));
+  }
+  shot_sigma_segment(signal + i, count - i, iso_gain, well_capacity, out + i);
+}
+
+void delta_e_ab_avx2(const double* ref_a, const double* ref_b, int count, double a,
+                     double b, double* out) {
+  const __m256d av = _mm256_set1_pd(a);
+  const __m256d bv = _mm256_set1_pd(b);
+  int i = 0;
+  for (; i + 3 < count; i += 4) {
+    const __m256d da = _mm256_sub_pd(av, _mm256_loadu_pd(ref_a + i));
+    const __m256d db = _mm256_sub_pd(bv, _mm256_loadu_pd(ref_b + i));
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(da, da), _mm256_mul_pd(db, db))));
+  }
+  delta_e_ab_segment(ref_a + i, ref_b + i, count - i, a, b, out + i);
+}
+
+}  // namespace
+
+const KernelTable kAvx2Kernels = {
+    demosaic_interior_avx2, row_lab_rgb_sums_avx2, vignette_signal_avx2,
+    shot_sigma_avx2,        delta_e_ab_avx2,
+};
+
+}  // namespace colorbars::simd::detail

@@ -1,0 +1,71 @@
+// Scalar backend: the reference implementation every vector backend
+// must match bit-for-bit. These are the exact loops the call sites ran
+// before the simd layer existed, moved behind the dispatch table.
+
+#include "kernels.hpp"
+
+namespace colorbars::simd::detail {
+
+namespace {
+
+void demosaic_interior_scalar(const double* raw, int rows, int columns,
+                              double* rgb_out) {
+  for (int r = 1; r + 1 < rows; ++r) {
+    demosaic_row_segment(raw, columns, r, 1, columns - 1, rgb_out);
+  }
+}
+
+void row_lab_rgb_sums_scalar(const color::Rgb8* pixels, int count, RowSums& sums) {
+  row_lab_rgb_sums_segment(pixels, count, sums);
+}
+
+void vignette_signal_scalar(const double* col2, int column_begin, int column_end,
+                            double row2, double strength, double value_even,
+                            double value_odd, double* out_row) {
+  vignette_signal_segment(col2, column_begin, column_end, row2, strength, value_even,
+                          value_odd, out_row);
+}
+
+void shot_sigma_scalar(const double* signal, int count, double iso_gain,
+                       double well_capacity, double* out) {
+  shot_sigma_segment(signal, count, iso_gain, well_capacity, out);
+}
+
+void delta_e_ab_scalar(const double* ref_a, const double* ref_b, int count, double a,
+                       double b, double* out) {
+  delta_e_ab_segment(ref_a, ref_b, count, a, b, out);
+}
+
+}  // namespace
+
+const KernelTable kScalarKernels = {
+    demosaic_interior_scalar, row_lab_rgb_sums_scalar, vignette_signal_scalar,
+    shot_sigma_scalar,        delta_e_ab_scalar,
+};
+
+const LutSoA& lut_soa() noexcept {
+  static const LutSoA soa = [] {
+    LutSoA s;
+    const auto& contributions = color::rgb8_lab_contributions();
+    for (int channel = 0; channel < 3; ++channel) {
+      for (int code = 0; code < 256; ++code) {
+        const util::Vec3& v =
+            contributions[static_cast<std::size_t>(channel)][static_cast<std::size_t>(code)];
+        s.contrib[channel][0][code] = v.x;
+        s.contrib[channel][1][code] = v.y;
+        s.contrib[channel][2][code] = v.z;
+        // Bit-identical to from_rgb8: the same code / 255.0 division.
+        if (channel == 0) s.encode[code] = code / 255.0;
+      }
+    }
+    const auto& lab_f = color::lab_f_table_values();
+    for (int i = 0; i < color::kLabFTableSamples; ++i) {
+      s.lab_f[i] = lab_f[static_cast<std::size_t>(i)];
+    }
+    s.lab_f[color::kLabFTableSamples] = s.lab_f[color::kLabFTableSamples - 1];
+    return s;
+  }();
+  return soa;
+}
+
+}  // namespace colorbars::simd::detail

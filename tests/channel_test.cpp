@@ -26,6 +26,7 @@
 #include "colorbars/protocol/symbols.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/simd/simd.hpp"
 #include "colorbars/util/rng.hpp"
 
 namespace colorbars {
@@ -94,6 +95,36 @@ TEST(Channel, IdentityChannelReproducesPreRefactorCapturesAtAllThreadCounts) {
           << threads << " threads";
     }
   }
+}
+
+TEST(Channel, GoldenHashesHoldOnEverySimdBackend) {
+  // The dispatched kernels promise byte-identity with the scalar
+  // reference, so the frozen pre-refactor hashes must reproduce no
+  // matter which backend the capture path runs on — including the
+  // scalar fallback a COLORBARS_SIMD=OFF build is pinned to.
+  struct Golden {
+    camera::SensorProfile profile;
+    std::uint64_t hash;
+  };
+  const Golden goldens[] = {
+      {camera::nexus5_profile(), 0x6e375ae069668e59ULL},
+      {camera::iphone5s_profile(), 0x38a99c4aee6fc3faULL},
+      {camera::ideal_profile(), 0xe6aaf81a7a6e01daULL},
+  };
+  const led::EmissionTrace trace = golden_trace();
+  const simd::Backend saved = simd::active_backend();
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kSse42, simd::Backend::kAvx2,
+        simd::Backend::kNeon}) {
+    if (!simd::backend_supported(backend)) continue;
+    ASSERT_TRUE(simd::set_backend(backend));
+    for (const Golden& golden : goldens) {
+      EXPECT_EQ(capture_hash(golden.profile, trace), golden.hash)
+          << golden.profile.name << " diverged on the " << simd::backend_name(backend)
+          << " backend";
+    }
+  }
+  ASSERT_TRUE(simd::set_backend(saved));
 }
 
 // ---------------------------------------------------------------------------

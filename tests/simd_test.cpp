@@ -1,0 +1,431 @@
+// The simd kernel layer's contract is byte-identity: every compiled
+// backend must reproduce the scalar reference bit for bit on every
+// input it can see — including misaligned ROI starts, odd widths and
+// vector-width remainders — so that runtime dispatch can never change a
+// capture, a golden hash, or a decode. These tests prove it per kernel
+// (exhaustively for the Rgb8→Lab chain, with every misalignment offset
+// 0–31 for the row kernels, randomized frames for the rest), plus the
+// capture-arena and buffer-pool-cap plumbing that rides on the layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "colorbars/camera/camera.hpp"
+#include "colorbars/camera/profile.hpp"
+#include "colorbars/color/srgb.hpp"
+#include "colorbars/led/tri_led.hpp"
+#include "colorbars/pipeline/buffer_pool.hpp"
+#include "colorbars/protocol/symbols.hpp"
+#include "colorbars/runtime/thread_pool.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+#include "colorbars/rx/streaming.hpp"
+#include "colorbars/simd/simd.hpp"
+#include "colorbars/util/arena.hpp"
+#include "colorbars/util/rng.hpp"
+
+namespace colorbars {
+namespace {
+
+/// Restores the dispatched backend when a test scope ends.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active_backend()) {}
+  ~BackendGuard() { simd::set_backend(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  simd::Backend saved_;
+};
+
+/// Every non-scalar backend this binary can actually run.
+std::vector<simd::Backend> vector_backends() {
+  std::vector<simd::Backend> backends;
+  for (const simd::Backend backend :
+       {simd::Backend::kSse42, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::backend_supported(backend)) backends.push_back(backend);
+  }
+  return backends;
+}
+
+template <typename T>
+bool bit_equal(const T& a, const T& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(Simd, BackendProbeAndDispatchControls) {
+  BackendGuard guard;
+  EXPECT_TRUE(simd::backend_compiled(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::backend_supported(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::backend_supported(simd::active_backend()));
+
+  EXPECT_TRUE(simd::set_backend(simd::Backend::kScalar));
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+
+  for (const simd::Backend backend : vector_backends()) {
+    EXPECT_TRUE(simd::set_backend(backend));
+    EXPECT_EQ(simd::active_backend(), backend);
+    EXPECT_STRNE(simd::backend_name(backend), simd::backend_name(simd::Backend::kScalar));
+  }
+
+  // An uncompiled backend is refused and leaves dispatch untouched.
+  for (const simd::Backend backend :
+       {simd::Backend::kSse42, simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::backend_compiled(backend)) continue;
+    const simd::Backend before = simd::active_backend();
+    EXPECT_FALSE(simd::set_backend(backend));
+    EXPECT_EQ(simd::active_backend(), before);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel byte-identity vs the scalar reference.
+
+TEST(Simd, Rgb8LabChainMatchesScalarExhaustively) {
+  // Every (r, g, b) in 256^3, swept as 65536 rows of 256 pixels (b
+  // varies within a row). The summed Lab/RGB row reduction must be
+  // bit-equal per row, which pins every per-pixel LUT lookup, lerp and
+  // accumulation step of the vector backends to the scalar chain.
+  const std::vector<simd::Backend> backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend compiled/supported";
+  BackendGuard guard;
+
+  std::vector<color::Rgb8> row(256);
+  for (int r = 0; r < 256; ++r) {
+    for (int g = 0; g < 256; ++g) {
+      for (int b = 0; b < 256; ++b) {
+        row[static_cast<std::size_t>(b)] = {static_cast<std::uint8_t>(r),
+                                            static_cast<std::uint8_t>(g),
+                                            static_cast<std::uint8_t>(b)};
+      }
+      ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+      simd::RowSums reference;
+      simd::row_lab_rgb_sums(row.data(), 256, reference);
+      for (const simd::Backend backend : backends) {
+        ASSERT_TRUE(simd::set_backend(backend));
+        simd::RowSums sums;
+        simd::row_lab_rgb_sums(row.data(), 256, sums);
+        ASSERT_TRUE(bit_equal(sums, reference))
+            << simd::backend_name(backend) << " diverged at r=" << r << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(Simd, RowSumsEveryMisalignmentOffsetAndOddWidth) {
+  // ROI column ranges land the row pointer on arbitrary addresses and
+  // widths; every offset 0–31 into a known pixel row, crossed with prime
+  // and vector-width-straddling widths, must reduce bit-identically.
+  const std::vector<simd::Backend> backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend compiled/supported";
+  BackendGuard guard;
+
+  util::Xoshiro256 rng(0x51dee);
+  std::vector<color::Rgb8> pixels(256);
+  for (auto& pixel : pixels) {
+    pixel = {static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256)),
+             static_cast<std::uint8_t>(rng.below(256))};
+  }
+
+  const int widths[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 97};
+  for (int offset = 0; offset < 32; ++offset) {
+    for (const int width : widths) {
+      ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+      simd::RowSums reference;
+      simd::row_lab_rgb_sums(pixels.data() + offset, width, reference);
+      for (const simd::Backend backend : backends) {
+        ASSERT_TRUE(simd::set_backend(backend));
+        simd::RowSums sums;
+        simd::row_lab_rgb_sums(pixels.data() + offset, width, sums);
+        ASSERT_TRUE(bit_equal(sums, reference))
+            << simd::backend_name(backend) << " offset=" << offset << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(Simd, DemosaicInteriorMatchesScalarOnRandomFrames) {
+  const std::vector<simd::Backend> backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend compiled/supported";
+  BackendGuard guard;
+
+  util::Xoshiro256 rng(0xba7e2);
+  const int shapes[][2] = {{3, 3}, {4, 5}, {5, 4}, {5, 7}, {8, 8},
+                           {9, 33}, {16, 31}, {33, 65}, {64, 34}};
+  for (const auto& shape : shapes) {
+    const int rows = shape[0];
+    const int columns = shape[1];
+    std::vector<double> raw(static_cast<std::size_t>(rows) * columns);
+    for (double& value : raw) value = rng.uniform(0.0, 1.0);
+
+    const std::size_t out_size = raw.size() * 3;
+    // Sentinel-filled outputs double as a border-untouched check.
+    std::vector<double> reference(out_size, -7.0);
+    ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+    simd::demosaic_interior(raw.data(), rows, columns, reference.data());
+    for (const simd::Backend backend : backends) {
+      ASSERT_TRUE(simd::set_backend(backend));
+      std::vector<double> out(out_size, -7.0);
+      simd::demosaic_interior(raw.data(), rows, columns, out.data());
+      ASSERT_EQ(std::memcmp(out.data(), reference.data(), out_size * sizeof(double)), 0)
+          << simd::backend_name(backend) << " " << rows << "x" << columns;
+    }
+  }
+}
+
+TEST(Simd, VignetteShotSigmaDeltaEMatchScalarAtEveryOffset) {
+  const std::vector<simd::Backend> backends = vector_backends();
+  if (backends.empty()) GTEST_SKIP() << "no vector backend compiled/supported";
+  BackendGuard guard;
+
+  util::Xoshiro256 rng(0x7e57);
+  constexpr int kColumns = 160;
+  std::vector<double> col2(kColumns);
+  for (double& value : col2) value = rng.uniform(0.0, 1.0);
+  std::vector<double> signal(kColumns);
+  for (double& value : signal) value = rng.uniform(-0.1, 1.2);  // negatives hit the clamp
+  std::vector<double> ref_a(kColumns), ref_b(kColumns);
+  for (int i = 0; i < kColumns; ++i) {
+    ref_a[static_cast<std::size_t>(i)] = rng.uniform(-90.0, 90.0);
+    ref_b[static_cast<std::size_t>(i)] = rng.uniform(-90.0, 90.0);
+  }
+
+  for (int offset = 0; offset < 32; ++offset) {
+    for (const int width : {0, 1, 2, 3, 5, 8, 13, 16, 21, 32, 33, 64, 97}) {
+      const int end = offset + width;
+      ASSERT_LE(end, kColumns);
+      for (const double strength : {0.0, 0.4}) {
+        ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+        std::vector<double> vignette_ref(kColumns, -1.0);
+        simd::vignette_signal_span(col2.data(), offset, end, 0.37, strength, 0.8, 0.25,
+                                   vignette_ref.data());
+        std::vector<double> sigma_ref(static_cast<std::size_t>(width) + 1, -1.0);
+        simd::shot_sigma_row(signal.data() + offset, width, 1.7, 5000.0, sigma_ref.data());
+        std::vector<double> delta_ref(static_cast<std::size_t>(width) + 1, -1.0);
+        simd::delta_e_ab_many(ref_a.data() + offset, ref_b.data() + offset, width, 12.5,
+                              -33.25, delta_ref.data());
+
+        for (const simd::Backend backend : backends) {
+          ASSERT_TRUE(simd::set_backend(backend));
+          std::vector<double> vignette(kColumns, -1.0);
+          simd::vignette_signal_span(col2.data(), offset, end, 0.37, strength, 0.8, 0.25,
+                                     vignette.data());
+          ASSERT_EQ(std::memcmp(vignette.data(), vignette_ref.data(),
+                                vignette.size() * sizeof(double)),
+                    0)
+              << simd::backend_name(backend) << " vignette offset=" << offset
+              << " width=" << width << " strength=" << strength;
+
+          std::vector<double> sigma(sigma_ref.size(), -1.0);
+          simd::shot_sigma_row(signal.data() + offset, width, 1.7, 5000.0, sigma.data());
+          ASSERT_EQ(
+              std::memcmp(sigma.data(), sigma_ref.data(), sigma.size() * sizeof(double)), 0)
+              << simd::backend_name(backend) << " sigma offset=" << offset
+              << " width=" << width;
+
+          std::vector<double> delta(delta_ref.size(), -1.0);
+          simd::delta_e_ab_many(ref_a.data() + offset, ref_b.data() + offset, width, 12.5,
+                                -33.25, delta.data());
+          ASSERT_EQ(
+              std::memcmp(delta.data(), delta_ref.data(), delta.size() * sizeof(double)), 0)
+              << simd::backend_name(backend) << " deltaE offset=" << offset
+              << " width=" << width;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end byte-identity across backends and thread counts.
+
+TEST(Simd, CaptureAndReductionIdenticalAcrossBackendsAndThreadCounts) {
+  BackendGuard guard;
+  // A shrunken Nexus-class profile keeps vignette (0.40) and both noise
+  // terms in play while staying fast; 33 columns forces odd-width rows
+  // through every kernel epilogue.
+  camera::SensorProfile profile = camera::nexus5_profile();
+  profile.rows = 96;
+  profile.columns = 33;
+
+  const led::TriLed led;
+  const csk::Constellation constellation(csk::CskOrder::kCsk8);
+  util::Xoshiro256 symbol_rng(0xfee1);
+  std::vector<protocol::ChannelSymbol> slots;
+  for (int i = 0; i < 40; ++i) {
+    slots.push_back(protocol::ChannelSymbol::data(static_cast<int>(symbol_rng.below(8))));
+  }
+  const led::EmissionTrace trace = led.emit(protocol::drives_of(slots, constellation), 2000.0);
+
+  const auto capture = [&] {
+    camera::RollingShutterCamera camera(profile, channel::OpticalChannel{}, 0x5eed);
+    return camera.capture_frame(trace, 0.001);
+  };
+
+  ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+  const camera::Frame reference_frame = capture();
+  const std::vector<rx::ScanlineColor> reference_lines =
+      rx::reduce_to_scanlines(reference_frame, 3, 30);
+
+  for (const simd::Backend backend : vector_backends()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      runtime::ThreadPool::set_shared_thread_count(threads);
+      const camera::Frame frame = capture();
+      EXPECT_EQ(frame.pixels, reference_frame.pixels)
+          << simd::backend_name(backend) << " capture diverged at " << threads
+          << " threads";
+      const std::vector<rx::ScanlineColor> lines = rx::reduce_to_scanlines(frame, 3, 30);
+      ASSERT_EQ(lines.size(), reference_lines.size());
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        ASSERT_TRUE(bit_equal(lines[i], reference_lines[i]))
+            << simd::backend_name(backend) << " scanline " << i << " at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capture arena.
+
+TEST(Simd, ArenaSpansAreAlignedAndRecycle) {
+  util::CaptureArena arena;
+  const auto a = arena.allocate<double>(33);
+  const auto b = arena.allocate<float>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % util::CaptureArena::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % util::CaptureArena::kAlignment, 0u);
+  EXPECT_EQ(a.size(), 33u);
+  EXPECT_EQ(b.size(), 7u);
+
+  // The warm-up frame grows incrementally, so its reset coalesces to a
+  // block sized for the whole frame; from then on same-shape frames are
+  // pure reuse with zero growth.
+  arena.reset();
+  const std::size_t capacity = arena.capacity_bytes();
+  EXPECT_GT(capacity, 0u);
+  const auto c = arena.allocate<double>(33);
+  const auto d = arena.allocate<float>(7);
+  // Both spans now come from the one coalesced block, in order and
+  // non-overlapping (33 doubles round up to 5 cache lines).
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(d.data()),
+            reinterpret_cast<std::uintptr_t>(c.data()) + 33 * sizeof(double));
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  const long long grows_after_warmup = arena.stats().grows;
+
+  arena.reset();
+  const auto e = arena.allocate<double>(33);
+  (void)arena.allocate<float>(7);
+  EXPECT_EQ(e.data(), c.data());  // same storage handed back
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  EXPECT_EQ(arena.stats().grows, grows_after_warmup);
+
+  const util::CaptureArena::Stats& stats = arena.stats();
+  EXPECT_EQ(stats.resets, 2);
+  EXPECT_EQ(stats.reuse_hits, 1);  // the post-coalesce reset
+  EXPECT_GT(stats.peak_bytes, 0u);
+}
+
+TEST(Simd, ArenaOverflowCoalescesOnReset) {
+  util::CaptureArena arena;
+  (void)arena.allocate<double>(8);  // small first block
+  arena.reset();
+  // Overflow the block: the frame still works (side blocks), and the
+  // next reset coalesces so the frame after that is a single reuse hit.
+  (void)arena.allocate<double>(8);
+  const auto big = arena.allocate<double>(1000);
+  EXPECT_EQ(big.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big.data()) % util::CaptureArena::kAlignment,
+            0u);
+  const long long grows_after_overflow = arena.stats().grows;
+  EXPECT_GE(grows_after_overflow, 2);
+
+  arena.reset();  // coalesce
+  (void)arena.allocate<double>(8);
+  (void)arena.allocate<double>(1000);
+  EXPECT_EQ(arena.stats().grows, grows_after_overflow) << "coalesced block too small";
+  arena.reset();
+  EXPECT_EQ(arena.stats().reuse_hits, 2);  // first reset + post-coalesce one
+  EXPECT_GE(arena.stats().peak_bytes, 1008 * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-pool retention cap.
+
+TEST(Simd, BufferPoolCapBoundsRetainedBuffersUnderChurn) {
+  pipeline::BufferPoolConfig config;
+  config.max_retained_frames = 3;
+  config.max_retained_scratch = 2;
+  pipeline::BufferPool pool(config);
+
+  // Churn like a scene whose lane set keeps changing: bursts of varying
+  // width, all released back. Without the cap the free lists would grow
+  // to the widest burst ever seen and stay there.
+  for (int burst = 1; burst <= 8; ++burst) {
+    std::vector<camera::Frame> frames;
+    std::vector<camera::RenderScratch> scratch;
+    for (int i = 0; i < burst; ++i) {
+      frames.push_back(pool.acquire_frame());
+      frames.back().resize(64, 32);
+      scratch.push_back(pool.acquire_scratch());
+    }
+    for (auto& frame : frames) pool.release_frame(std::move(frame));
+    for (auto& s : scratch) pool.release_scratch(std::move(s));
+    EXPECT_LE(pool.retained_frames(), 3u) << "burst " << burst;
+    EXPECT_LE(pool.retained_scratch(), 2u) << "burst " << burst;
+  }
+
+  const pipeline::BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(pool.retained_frames(), 3u);
+  EXPECT_EQ(pool.retained_scratch(), 2u);
+  EXPECT_GT(stats.frames_evicted, 0);
+  EXPECT_GT(stats.scratch_evicted, 0);
+  EXPECT_GT(stats.frame_hits, 0);  // the cap still leaves a working pool
+  EXPECT_EQ(stats.outstanding_frames, 0);
+  EXPECT_EQ(stats.outstanding_scratch, 0);
+
+  // An uncapped pool keeps everything — the default behavior is intact.
+  pipeline::BufferPool unbounded;
+  std::vector<camera::Frame> frames;
+  for (int i = 0; i < 8; ++i) frames.push_back(unbounded.acquire_frame());
+  for (auto& frame : frames) unbounded.release_frame(std::move(frame));
+  EXPECT_EQ(unbounded.retained_frames(), 8u);
+  EXPECT_EQ(unbounded.stats().frames_evicted, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming arena counters.
+
+TEST(Simd, StreamingReceiverSurfacesArenaCounters) {
+  rx::StreamingReceiver receiver(rx::ReceiverConfig{});
+  camera::Frame frame;
+  frame.resize(128, 32);
+  frame.row_time_s = 1.0 / (2000.0 * 4.0);
+  frame.exposure_s = frame.row_time_s;
+  for (auto& pixel : frame.pixels) pixel = {200, 40, 90};
+
+  for (int i = 0; i < 3; ++i) {
+    frame.frame_index = i;
+    frame.start_time_s = i * (1.0 / 30.0);
+    receiver.push_frame(frame);
+  }
+  const rx::StreamingStats& stats = receiver.stats();
+  EXPECT_EQ(stats.arena_resets, 3);
+  // Frames are same-shaped, so after the first reduction the arena
+  // serves every later frame from the same block.
+  EXPECT_GE(stats.arena_reuse_hits, 2);
+  EXPECT_GE(stats.arena_peak_bytes,
+            static_cast<long long>(128 * sizeof(rx::ScanlineColor)));
+}
+
+}  // namespace
+}  // namespace colorbars

@@ -26,6 +26,9 @@ TEST(UmbrellaHeader, ExposesTheWholePublicSurface) {
   const flicker::BlochObserver observer;
   EXPECT_GT(observer.config().critical_duration_s, 0.0);
   EXPECT_EQ(camera::nexus5_profile().rows, 2448);
+  EXPECT_TRUE(simd::backend_supported(simd::active_backend()));
+  util::CaptureArena arena;
+  EXPECT_EQ(arena.allocate<double>(4).size(), 4u);
   const rx::ClassifierConfig classifier;
   EXPECT_GT(classifier.off_lightness, 0.0);
   const baseline::FskConfig fsk;

@@ -7,8 +7,10 @@
 #      path (parallel_for regions, shared-pool resizing, concurrent
 #      const reads of EmissionTrace prefix sums during frame synthesis,
 #      BufferPool acquire/release from prefetch refills, concurrent
-#      const OpticalChannel queries from parallel row integrals, and the
-#      scene path's per-ROI decode fan-out over the shared pool).
+#      const OpticalChannel queries from parallel row integrals, the
+#      scene path's per-ROI decode fan-out over the shared pool, and the
+#      simd layer's shared-LUT reads plus capture-arena reuse inside
+#      parallel_for capture/reduction regions).
 #
 # The two instrumentations are mutually exclusive, so each gets its own
 # build tree under build-asan/ and build-tsan/. Usage:
@@ -23,8 +25,8 @@ jobs="${1:-$(nproc)}"
 # TSan must cover the concurrency surface: if a rename/move ever drops
 # one of these suites from the binary, fail the run instead of silently
 # shrinking coverage.
-tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt Scene SceneTracker)
-tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*:Scene.*:SceneTracker.*'
+tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt Scene SceneTracker Simd)
+tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*:Scene.*:SceneTracker.*:Simd.*'
 
 build_suite() {
   local build_dir="$1" cmake_flag="$2"
