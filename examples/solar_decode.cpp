@@ -1,0 +1,63 @@
+// Solar decode: the same ColorBars transmission received by a
+// photodiode (solar-cell) array instead of a camera.
+//
+// The transmitter side is untouched — same packetizer, Reed-Solomon
+// code, CSK constellation and tri-LED waveform as the quickstart. The
+// receiver swaps the rolling-shutter camera for three color-filtered
+// photodiodes behind an ADC (LinkConfig::frontend = kPhotodiode). With
+// no frame raster there is no inter-frame gap (every slot is observed)
+// and no rows-per-band ceiling, so the link runs at symbol rates the
+// camera geometrically cannot: this example decodes at 16,000 sym/s,
+// ~4x the camera's limit, and recovers the whole message in one pass.
+//
+// Build & run:   ./build/examples/solar_decode
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "colorbars/core/link.hpp"
+
+int main() {
+  using namespace colorbars;
+
+  const std::string message =
+      "Hello from ColorBars! CSK into a solar cell, no camera needed.";
+  std::vector<std::uint8_t> payload(message.begin(), message.end());
+
+  // 1. Describe the link. Only the frontend selection (and the faster
+  //    LED) differ from a camera link — the coding stack is shared.
+  core::LinkConfig config;
+  config.order = csk::CskOrder::kCsk8;     // 3 bits per color symbol
+  config.symbol_rate_hz = 16000.0;         // ~4x the camera's ceiling
+  config.led.max_symbol_rate_hz = 64000.0; // drive hardware that can keep up
+  config.frontend = frontend::FrontendKind::kPhotodiode;
+  config.pd.sample_rate_hz = 200000.0;     // 12.5 ADC samples per symbol
+  // profile still sets the RS code's loss budget and decode cadence;
+  // the photodiode itself never rasterizes a frame.
+  config.profile = camera::ideal_profile();
+
+  // 2. Run the transfer: TX -> LED -> photodiode array -> RX, one call.
+  core::LinkSimulator link(config);
+  const core::LinkRunResult result = link.run_payload(payload);
+
+  // 3. Inspect what happened.
+  std::printf("sent      : %zu bytes (\"%s\")\n", payload.size(), message.c_str());
+  std::printf("recovered : %zu bytes\n", result.recovered_bytes);
+  std::printf("air time  : %.3f s  ->  goodput %.0f bps\n", result.air_time_s,
+              result.goodput_bps());
+  std::printf("packets   : %d ok, %d failed\n", result.report.data_packets_ok,
+              result.report.data_packets_failed);
+
+  std::printf("\nreceived text: \"");
+  for (std::size_t i = 0; i < result.report.payload.size() && i < payload.size(); ++i) {
+    const std::uint8_t byte = result.report.payload[i];
+    std::printf("%c", byte >= 32 && byte < 127 ? static_cast<char>(byte) : '.');
+  }
+  std::printf("\"\n");
+  std::printf(
+      "\n(No lost packets: a photodiode has no inter-frame gap, so every slot\n"
+      "is observed. Compare examples/quickstart, where the camera drops ~25%%\n"
+      "of packet headers at an eighth of this symbol rate.)\n");
+  return 0;
+}

@@ -56,6 +56,13 @@
 #include "colorbars/rx/rate_estimator.hpp"     // blind symbol-rate recovery
 #include "colorbars/rx/roi_tracker.hpp"        // luminaire region tracking
 
+#include "colorbars/frontend/frontend.hpp"  // receiver frontend seam
+
+#include "colorbars/pd/pd.hpp"        // photodiode array + config
+#include "colorbars/pd/sampler.hpp"   // ADC sampler + prefetch ring
+#include "colorbars/pd/reducer.hpp"   // clock recovery + slot reduction
+#include "colorbars/pd/frontend.hpp"  // photodiode frontend
+
 #include "colorbars/tx/transmitter.hpp"  // transmitter pipeline
 
 #include "colorbars/baseline/ook.hpp"  // OOK baseline

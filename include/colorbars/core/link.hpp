@@ -10,6 +10,8 @@
 
 #include "colorbars/camera/camera.hpp"
 #include "colorbars/channel/channel.hpp"
+#include "colorbars/frontend/frontend.hpp"
+#include "colorbars/pd/pd.hpp"
 #include "colorbars/rx/receiver.hpp"
 #include "colorbars/tx/transmitter.hpp"
 
@@ -36,6 +38,21 @@ struct LinkConfig {
   /// stage streams derive from each run's camera seed, so results stay
   /// byte-identical at every thread count.
   channel::ChannelSpec channel{};
+  /// Which sensor decodes the capture: the rolling-shutter camera (the
+  /// paper's receiver, byte-identical to the pre-seam link) or the
+  /// photodiode array (no frame raster, no rolling-shutter symbol-rate
+  /// ceiling). Every run_* entry point routes through this selection.
+  frontend::FrontendKind frontend = frontend::FrontendKind::kCamera;
+  /// Photodiode frontend tuning (sampling chain, AGC, clock recovery);
+  /// consulted only when frontend == kPhotodiode. `profile` still sets
+  /// the receiver's holdback cadence and the RS code's loss ratio, so
+  /// one LinkConfig decodes identically-coded transmissions on either
+  /// frontend.
+  pd::PdConfig pd{};
+  /// Transmitter LED hardware. Raising max_symbol_rate_hz past the
+  /// BeagleBone-class default lets rate sweeps drive the pd frontend
+  /// beyond the camera's ceiling (bench_extension_solar).
+  led::TriLedConfig led{};
   double calibration_rate_hz = 5.0;
   /// Receiver matching/classification tuning (ablation knob: matching
   /// space, thresholds).

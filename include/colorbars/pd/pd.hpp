@@ -1,0 +1,102 @@
+#pragma once
+
+// Photodiode/solar-cell receiver frontend (Solar-CSK style, see
+// PAPERS.md): a small array of color-filtered photodiodes sampled by an
+// ADC at tens-to-hundreds of kHz. Unlike the camera there is no frame
+// raster and no rolling shutter — the sampler integrates the
+// radiance-domain channel::ChannelSpec stages directly over the
+// EmissionTrace — so the symbol rate is bounded by the analog sampling
+// chain, not by rows-per-band geometry. That removes the camera's
+// rolling-shutter symbol-rate ceiling entirely (bench_extension_solar
+// sweeps past it).
+//
+// Determinism contract: sampler noise derives from
+// (noise seed, block index) via runtime::derive_stream_seed, so sample
+// blocks are pure functions of their index and the synthesized stream
+// is byte-identical at any thread count and any prefetch lookahead —
+// the same counter-derived-stream discipline as camera frames.
+
+#include <cstdint>
+#include <vector>
+
+#include "colorbars/util/vec3.hpp"
+
+namespace colorbars::pd {
+
+/// One filtered photodiode of the array. The filter is the diode's
+/// calibrated linear response to incident CIE XYZ radiance (optical
+/// filter plus matrixing, exactly like the camera's xyz_to_sensor_rgb
+/// rows — negative coefficients are a calibration artifact and the
+/// physical response is clamped at zero). rgb_weight is the channel's
+/// contribution when the reducer reconstructs a linear-sRGB color from
+/// the per-channel means.
+struct PdChannelSpec {
+  util::Vec3 filter_xyz{};  ///< response to incident XYZ (row vector)
+  util::Vec3 rgb_weight{};  ///< contribution to reconstructed linear sRGB
+  double responsivity = 1.0;  ///< photocurrent per unit filtered radiance
+};
+
+/// The default three-diode array: filters equal to the XYZ→linear-sRGB
+/// matrix rows, so channel c measures the c-th linear-sRGB component of
+/// the incident radiance and reconstruction is the identity weighting.
+[[nodiscard]] std::vector<PdChannelSpec> default_pd_array();
+
+/// Full photodiode frontend configuration: array, sampling chain, AGC
+/// and the symbol-clock recovery / slot reduction tuning.
+struct PdConfig {
+  /// The filtered diodes (3 or more; validate() rejects fewer).
+  std::vector<PdChannelSpec> channels = default_pd_array();
+
+  // --- sampling chain ---
+  /// ADC sample rate shared by all channels, Hz.
+  double sample_rate_hz = 200000.0;
+  /// ADC resolution in bits (quantizes the [0, 1] full scale);
+  /// 0 disables quantization (an ideal ADC).
+  int adc_bits = 12;
+  /// Additive Gaussian noise floor, as a fraction of full scale.
+  double read_noise = 0.002;
+  /// Signal-dependent (shot) noise coefficient: the per-sample sigma is
+  /// read_noise + shot_noise * sqrt(signal).
+  double shot_noise = 0.004;
+
+  // --- automatic gain control ---
+  /// Full-scale fraction the strongest channel meters to over the AGC
+  /// window. Deliberately well below 1: a saturated symbol drives one
+  /// primary at ~3x the white level per channel, and clipping it would
+  /// distort chroma (the analog of the camera AE's 0.35 green target).
+  double agc_target = 0.25;
+  /// Metering window at the start of the capture, seconds (inside the
+  /// transmitter's white warmup). The gain freezes after metering, like
+  /// a phone AE converged on the steady scene.
+  double agc_window_s = 0.04;
+
+  // --- streaming ---
+  /// Samples per synthesized block (the pd analog of a camera frame).
+  int block_samples = 4096;
+  /// Blocks prefetched per refill (peak resident blocks) — purely a
+  /// memory/parallelism knob, byte-identical at every value.
+  int lookahead_blocks = 4;
+
+  // --- symbol clock recovery + slot reduction ---
+  /// Inter-sample level change (max over channels, full-scale units)
+  /// that counts as a symbol transition during clock acquisition.
+  double transition_threshold = 0.04;
+  /// Fraction of the slot duration excluded at each slot boundary when
+  /// averaging (transition guard), in [0, 0.45].
+  double guard_fraction = 0.2;
+  /// Minimum fraction of a slot's nominal sample count required to emit
+  /// an observation for it (gates partial slots at the stream edges).
+  double min_coverage = 0.5;
+  /// Transitions accumulated before the recovered clock phase freezes.
+  int min_transitions = 64;
+  /// Acquisition cap, in slots: freeze with whatever has been seen
+  /// after this many slots (bounds the replay buffer on a transition-
+  /// free stream, where the phase defaults to the nominal grid).
+  int max_acquisition_slots = 2048;
+
+  /// Throws std::invalid_argument unless every parameter is in range
+  /// (mirrors ChannelSpec::validate; NaN fails every check).
+  void validate() const;
+};
+
+}  // namespace colorbars::pd

@@ -1,0 +1,102 @@
+#pragma once
+
+// Symbol-clock recovery and slot reduction for the photodiode frontend
+// — the pd analog of the camera's band extractor. The reducer consumes
+// sample blocks in stream order, recovers the symbol-boundary phase
+// from inter-sample level transitions, then averages the guarded
+// interior of every symbol slot into one rx::SlotObservation in the
+// same color representation the camera's bands carry (gamma-encoded
+// sRGB mean, Lab chroma/lightness), so the CalibrationStore/classifier
+// back half is shared verbatim between frontends.
+//
+// Clock recovery: every consecutive-sample level change above the
+// transition threshold votes for the boundary time at the junction of
+// the two samples, weighted by its magnitude, in a circular mean modulo
+// the symbol period. A boundary that falls inside one sample splits its
+// level change across the two adjacent junctions proportionally to the
+// split fractions, so the weighted circular mean recovers the exact
+// boundary in the noise-free case. Until enough transitions accumulate
+// the reducer buffers samples; on freeze it replays them, so the
+// observation stream always reflects the final recovered phase.
+
+#include <cstdint>
+#include <vector>
+
+#include "colorbars/pd/pd.hpp"
+#include "colorbars/pd/sampler.hpp"
+#include "colorbars/rx/band_extractor.hpp"
+
+namespace colorbars::pd {
+
+/// Streaming slot reducer. Feed blocks in order via ingest (each call
+/// appends any slots that became final), then finish() once to flush
+/// the tail.
+class SlotReducer {
+ public:
+  /// `config` must be validated; symbol_rate_hz must be positive and no
+  /// more than half the sample rate (the frontend enforces both).
+  SlotReducer(const PdConfig& config, double symbol_rate_hz);
+
+  /// Consumes one block, appending finalized observations to `out`.
+  void ingest(const SampleBlock& block, std::vector<rx::SlotObservation>& out);
+
+  /// Flushes the replay buffer and the trailing partial slot. Call
+  /// exactly once, after the last ingest.
+  void finish(std::vector<rx::SlotObservation>& out);
+
+  /// True once the recovered clock phase froze.
+  [[nodiscard]] bool phase_locked() const noexcept { return frozen_; }
+  /// The recovered symbol-boundary phase, seconds in (-T/2, T/2]
+  /// (0 = the transmitter's nominal slot grid). Meaningful once locked.
+  [[nodiscard]] double recovered_phase_s() const noexcept { return phase_s_; }
+  /// Above-threshold transitions accumulated during acquisition.
+  [[nodiscard]] long long transitions_observed() const noexcept { return transitions_; }
+  /// Observations emitted so far.
+  [[nodiscard]] long long slots_emitted() const noexcept { return slots_emitted_; }
+
+ private:
+  /// Adds one transition vote at the junction time, weighted by the
+  /// observed level change.
+  void observe_transition(double boundary_time_s, double weight);
+  /// Routes one sample into the current slot accumulator, finalizing
+  /// slots the stream has moved past.
+  void reduce_sample(double t0, const double* values,
+                     std::vector<rx::SlotObservation>& out);
+  /// Freezes the clock phase from the accumulated votes and replays the
+  /// acquisition buffer through reduce_sample.
+  void freeze_phase(std::vector<rx::SlotObservation>& out);
+  /// Emits the current slot accumulator if it meets min_coverage.
+  void finalize_slot(std::vector<rx::SlotObservation>& out);
+
+  PdConfig config_;
+  double symbol_period_s_;
+  double sample_period_s_;
+  int channels_;
+  double min_slot_samples_;
+
+  // --- acquisition state ---
+  bool frozen_ = false;
+  double phase_s_ = 0.0;
+  long long transitions_ = 0;
+  double vote_sin_ = 0.0;
+  double vote_cos_ = 0.0;
+  std::vector<double> prev_values_;
+  bool have_prev_ = false;
+  /// Replay buffer: times and channel values of every sample seen
+  /// before the freeze, in stream order.
+  std::vector<double> pending_times_;
+  std::vector<double> pending_values_;
+  long long samples_seen_ = 0;
+  long long max_acquisition_samples_ = 0;
+
+  // --- slot accumulator (post-freeze) ---
+  bool slot_active_ = false;
+  long long current_slot_ = 0;
+  long long slot_count_ = 0;
+  long long interior_count_ = 0;
+  std::vector<double> slot_sum_;
+  std::vector<double> interior_sum_;
+  long long slots_emitted_ = 0;
+};
+
+}  // namespace colorbars::pd

@@ -1,0 +1,109 @@
+#pragma once
+
+// The photodiode ADC sampler and its streaming source — the pd analog
+// of camera::RollingShutterCamera plus pipeline::FrameSource. A
+// PdSampler turns (EmissionTrace, OpticalChannel, PdConfig) into a
+// stream of fixed-size sample blocks; PdSampleSource prefetches blocks
+// through a bounded ring, fanning each refill over the runtime pool.
+// render_block is a pure function of the block index (noise derives
+// from (seed, index)), so the stream is byte-identical at any thread
+// count and lookahead.
+
+#include <cstdint>
+#include <vector>
+
+#include "colorbars/channel/channel.hpp"
+#include "colorbars/led/emission.hpp"
+#include "colorbars/pd/pd.hpp"
+
+namespace colorbars::pd {
+
+/// One contiguous run of ADC samples, all channels interleaved
+/// sample-major: samples[i * channels + c] is channel c of sample i.
+/// Sample i integrates the window starting at
+/// start_time_s + i / sample_rate_hz on the absolute trace clock.
+struct SampleBlock {
+  long long first_sample = 0;  ///< global index of the first sample
+  int count = 0;               ///< samples in this block
+  int channels = 0;
+  double start_time_s = 0.0;   ///< absolute time of the first sample's window start
+  double sample_period_s = 0.0;
+  std::vector<double> samples;
+};
+
+/// Deterministic photodiode capture: exposes the capture geometry
+/// (total samples/blocks, the frozen AGC gain) and renders any block on
+/// demand. All queries are const and thread-safe.
+class PdSampler {
+ public:
+  /// Samples `trace` from `start_offset_s` to the trace end through
+  /// `channel` (radiance-domain stages: distance, occlusion, ambient,
+  /// flicker). The AGC gain is metered once over the leading
+  /// agc_window_s through the channel's static attenuation — the
+  /// steady-scene decision a converged AE would make — and frozen.
+  /// `config` must be validated by the caller (PdFrontend does);
+  /// `trace` must outlive the sampler.
+  PdSampler(const PdConfig& config, channel::OpticalChannel channel,
+            const led::EmissionTrace& trace, double start_offset_s,
+            std::uint64_t noise_seed);
+  PdSampler(const PdConfig&, channel::OpticalChannel, led::EmissionTrace&&, double,
+            std::uint64_t) = delete;
+
+  [[nodiscard]] const PdConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int channel_count() const noexcept {
+    return static_cast<int>(config_.channels.size());
+  }
+  [[nodiscard]] long long total_samples() const noexcept { return total_samples_; }
+  [[nodiscard]] int total_blocks() const noexcept { return total_blocks_; }
+  /// The frozen AGC gain applied to every sample.
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+
+  /// Renders block `block_index` into caller-provided storage (resized
+  /// in place, so a prefetch ring recycles its allocations). Pure
+  /// function of the index: noise comes from
+  /// derive_stream_seed(noise_seed, block_index).
+  void render_block(int block_index, SampleBlock& out) const;
+
+ private:
+  PdConfig config_;
+  channel::OpticalChannel channel_;
+  const led::EmissionTrace& trace_;
+  double start_offset_s_;
+  std::uint64_t noise_seed_;
+  double gain_ = 1.0;
+  long long total_samples_ = 0;
+  int total_blocks_ = 0;
+};
+
+/// Bounded-lookahead prefetch ring over a PdSampler — the streaming
+/// analog of pipeline::FrameSource for sample blocks. next() serves
+/// blocks in order; each refill renders the next lookahead blocks in
+/// parallel on the shared runtime pool.
+class PdSampleSource {
+ public:
+  /// `sampler` must outlive the source.
+  explicit PdSampleSource(const PdSampler& sampler);
+
+  PdSampleSource(const PdSampleSource&) = delete;
+  PdSampleSource& operator=(const PdSampleSource&) = delete;
+
+  /// The next block in capture order, or nullptr at end of stream. The
+  /// pointer stays valid until the next call.
+  [[nodiscard]] const SampleBlock* next();
+
+  [[nodiscard]] int total_blocks() const noexcept { return sampler_.total_blocks(); }
+  [[nodiscard]] int blocks_emitted() const noexcept { return next_serve_; }
+  [[nodiscard]] long long refills() const noexcept { return refills_; }
+
+ private:
+  void refill();
+
+  const PdSampler& sampler_;
+  std::vector<SampleBlock> ring_;
+  int ring_base_ = 0;
+  int ring_count_ = 0;
+  int next_serve_ = 0;
+  long long refills_ = 0;
+};
+
+}  // namespace colorbars::pd

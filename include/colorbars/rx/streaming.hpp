@@ -33,6 +33,8 @@
 // finalized once the timeline extends at least one whole frame period
 // beyond it; call finish() at end of capture to flush the tail.
 
+#include <span>
+
 #include "colorbars/pipeline/pipeline.hpp"
 #include "colorbars/rx/receiver.hpp"
 #include "colorbars/util/arena.hpp"
@@ -93,6 +95,14 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// of each scanline — the decode slice of one tracked luminaire. All
   /// other semantics match push_frame.
   void push_frame(const camera::Frame& frame, int column_begin, int column_end);
+
+  /// Frontend-seam ingest: accepts one block of already-reduced slot
+  /// observations (a frontend::SlotObservationSource delivery — a
+  /// camera frame's bands, a photodiode sample block's slots) and runs
+  /// the same incremental drain consume() performs. Pushing the blocks
+  /// a CameraFrontend yields decodes byte-identically to push_frame on
+  /// the frames themselves.
+  void push_observations(std::span<const SlotObservation> observations);
 
   /// Returns the packets that have become decodable since the last call
   /// (possibly none). Cheap when no new frames arrived.
@@ -170,8 +180,8 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// Records per-drain stats bookkeeping shared by every drain path.
   void note_drain(double elapsed_s, long long scanned_before) noexcept;
 
-  /// Shared ingest tail of both push_frame overloads.
-  void ingest_slots(const std::vector<SlotObservation>& slots);
+  /// Shared ingest tail of the push_frame and push_observations paths.
+  void ingest_slots(std::span<const SlotObservation> slots);
 
   Receiver receiver_;
   /// Per-stream scratch arena for the frame reduction (scanline colors);

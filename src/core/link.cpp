@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "colorbars/channel/stages.hpp"
-#include "colorbars/pipeline/pipeline.hpp"
+#include <memory>
+
+#include "colorbars/frontend/frontend.hpp"
+#include "colorbars/pd/frontend.hpp"
 #include "colorbars/runtime/seed.hpp"
 #include "colorbars/runtime/thread_pool.hpp"
 #include "colorbars/rx/streaming.hpp"
@@ -71,6 +73,7 @@ tx::TransmitterConfig LinkConfig::transmitter_config() const {
   config.symbol_rate_hz = symbol_rate_hz;
   config.calibration_rate_hz = calibration_rate_hz;
   config.enable_dephasing_pad = enable_dephasing_pad;
+  config.led = led;
   const rs::CodeParameters link_code = code();
   config.rs_n = link_code.n;
   config.rs_k = link_code.k;
@@ -100,72 +103,33 @@ LinkSimulator::LinkSimulator(LinkConfig config)
 
 namespace {
 
-/// Sub-stream indices of the channel's stochastic stages, derived from
-/// the run's camera seed. Deriving (instead of drawing fresh values
-/// from the simulator RNG) keeps the member-RNG draw sequence identical
-/// to the pre-channel code, so identity-channel runs reproduce the old
-/// results byte for byte.
-constexpr std::uint64_t kOpticalStream = 0x0cc10ca1;
-constexpr std::uint64_t kFrameStageStream = 0x57a9e5;
-
-/// One capture's camera + channel, all seeded from a single simulator
-/// RNG draw.
-camera::RollingShutterCamera make_camera(const LinkConfig& config,
-                                         std::uint64_t camera_seed) {
-  return {config.profile,
-          channel::OpticalChannel(
-              config.channel, runtime::derive_stream_seed(camera_seed, kOpticalStream)),
-          camera_seed};
-}
-
-channel::StageChain make_stages(const LinkConfig& config, std::uint64_t camera_seed) {
-  return {config.channel, runtime::derive_stream_seed(camera_seed, kFrameStageStream)};
-}
-
-/// Streams one capture through the frame pipeline into `sink`: at most
-/// `lookahead` frames (plus in-flight render scratch) are resident,
-/// regardless of the trace duration. `stages` is the channel's
-/// frame-domain impairment chain (empty for the identity channel).
-pipeline::PipelineStats stream_capture(camera::RollingShutterCamera& camera,
-                                       const led::EmissionTrace& trace,
-                                       double start_offset_s, int lookahead,
-                                       std::span<pipeline::FrameStage* const> stages,
-                                       pipeline::FrameSink& sink) {
-  pipeline::BufferPool pool;
-  pipeline::SourceConfig source_config;
-  source_config.lookahead = lookahead;
-  // Route through the FrameRenderer seam (the scene subsystem plugs its
-  // compositor into the same socket). The renderer's plan_capture walk
-  // is the one the classic FrameSource constructor performed, so this
-  // stays byte-identical to the pre-renderer path.
-  pipeline::CameraTraceRenderer renderer(camera, trace, start_offset_s);
-  pipeline::FrameSource source(renderer, pool, source_config);
-  return pipeline::run_pipeline(source, stages, sink);
-}
-
-/// Sink that gathers every frame's slot observations in arrival order,
-/// for experiments that index the assembled timeline directly (SER,
-/// raw throughput) instead of decoding packets.
-class ObservationCollector final : public pipeline::FrameSink {
- public:
-  ObservationCollector(double symbol_rate_hz, rx::ExtractorConfig extractor)
-      : symbol_rate_hz_(symbol_rate_hz), extractor_(extractor) {}
-
-  void consume(const camera::Frame& frame) override {
-    const std::vector<rx::SlotObservation> slots =
-        rx::extract_slots(frame, symbol_rate_hz_, extractor_);
-    observations_.insert(observations_.end(), slots.begin(), slots.end());
+/// Builds the configured receiver frontend for one capture. Every
+/// frontend derives its stochastic sub-streams (optical channel, frame
+/// stages, sampler noise) from the single `capture_seed` the simulator
+/// drew — the camera path with the exact pre-seam stream indices, so
+/// identity-channel runs reproduce the old results byte for byte, and
+/// the pd path sharing the optical stream, so both sensors see the same
+/// occlusion bursts.
+std::unique_ptr<frontend::SlotObservationSource> make_frontend(
+    const LinkConfig& config, const led::EmissionTrace& trace, double start_offset_s,
+    std::uint64_t capture_seed) {
+  if (config.frontend == frontend::FrontendKind::kPhotodiode) {
+    pd::PdFrontendConfig pd_config;
+    pd_config.pd = config.pd;
+    pd_config.channel = config.channel;
+    pd_config.symbol_rate_hz = config.symbol_rate_hz;
+    pd_config.start_offset_s = start_offset_s;
+    return std::make_unique<pd::PdFrontend>(pd_config, trace, capture_seed);
   }
-
-  [[nodiscard]] rx::SlotTimeline timeline() const {
-    return rx::assemble_timeline(observations_);
-  }
-
- private:
-  double symbol_rate_hz_;
-  rx::ExtractorConfig extractor_;
-  std::vector<rx::SlotObservation> observations_;
-};
+  frontend::CameraFrontendConfig camera_config;
+  camera_config.profile = config.profile;
+  camera_config.channel = config.channel;
+  camera_config.symbol_rate_hz = config.symbol_rate_hz;
+  camera_config.extractor = config.receiver_config().extractor;
+  camera_config.pipeline_lookahead = config.pipeline_lookahead;
+  camera_config.start_offset_s = start_offset_s;
+  return std::make_unique<frontend::CameraFrontend>(camera_config, trace, capture_seed);
+}
 
 }  // namespace
 
@@ -173,23 +137,25 @@ LinkRunResult LinkSimulator::run_payload(std::span<const std::uint8_t> payload) 
   const tx::Transmitter transmitter(config_.transmitter_config());
   const tx::Transmission transmission = transmitter.transmit(payload);
 
-  const std::uint64_t camera_seed = rng_();
-  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
+  const std::uint64_t capture_seed = rng_();
   // The receiver's capture starts at an arbitrary phase of the symbol
   // stream (a user raises the phone whenever) — this randomizes the
   // packet/gap alignment per run, exactly as in a field measurement.
+  // The pd frontend keeps the same draw (and the same draw *order*, so
+  // camera runs stay byte-identical to the pre-seam link): its sampler
+  // simply starts mid-stream at the drawn offset.
   const double start_offset =
       rng_.uniform(0.0, config_.profile.frame_period_s());
 
-  // Stream the capture: frames flow camera → channel frame stages →
-  // receiver through pooled buffers, with O(pipeline_lookahead) frames
-  // resident instead of the whole video. Packet-for-packet identical to
-  // materializing the capture and running the batch Receiver
-  // (rx_streaming_test).
-  const channel::StageChain stages = make_stages(config_, camera_seed);
+  // Stream the capture through the configured frontend: observation
+  // blocks flow sensor → reduction → receiver with O(lookahead)
+  // frames/sample-blocks resident instead of the whole capture. For the
+  // camera this is packet-for-packet identical to materializing the
+  // capture and running the batch Receiver (rx_streaming_test).
+  const std::unique_ptr<frontend::SlotObservationSource> source =
+      make_frontend(config_, transmission.trace, start_offset, capture_seed);
   rx::StreamingReceiver receiver(config_.receiver_config());
-  (void)stream_capture(camera, transmission.trace, start_offset,
-                       config_.pipeline_lookahead, stages.stages(), receiver);
+  (void)frontend::run_frontend(*source, receiver);
 
   LinkRunResult result;
   result.report = receiver.take_report();
@@ -226,8 +192,7 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
   }
   const tx::Transmission transmission = transmitter.transmit_raw_symbols(symbols);
 
-  const std::uint64_t camera_seed = rng_();
-  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
+  const std::uint64_t capture_seed = rng_();
   rx::Receiver receiver(config_.receiver_config());
 
   // Calibration phase: the paper's receivers run under a steady diet of
@@ -271,12 +236,9 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
       protocol::drives_of(combined_slots, transmitter.constellation()),
       config_.symbol_rate_hz);
 
-  const channel::StageChain stages = make_stages(config_, camera_seed);
-  ObservationCollector collector(config_.symbol_rate_hz,
-                                 receiver.config().extractor);
-  (void)stream_capture(camera, combined_trace, /*start_offset_s=*/0.0,
-                       config_.pipeline_lookahead, stages.stages(), collector);
-  const rx::SlotTimeline timeline = collector.timeline();
+  const std::unique_ptr<frontend::SlotObservationSource> source =
+      make_frontend(config_, combined_trace, /*start_offset_s=*/0.0, capture_seed);
+  const rx::SlotTimeline timeline = frontend::collect_timeline(*source);
   // Absorb the calibration packets (and the raw transmission's own
   // preamble) before classifying the data slots.
   (void)receiver.parse(timeline);
@@ -334,14 +296,10 @@ ThroughputResult LinkSimulator::run_throughput(double duration_s) {
   const led::EmissionTrace trace = transmitter.led().emit(
       protocol::drives_of(slots, transmitter.constellation()), config_.symbol_rate_hz);
 
-  const std::uint64_t camera_seed = rng_();
-  camera::RollingShutterCamera camera = make_camera(config_, camera_seed);
-  const channel::StageChain stages = make_stages(config_, camera_seed);
-  const rx::ReceiverConfig rx_config = config_.receiver_config();
-  ObservationCollector collector(rx_config.symbol_rate_hz, rx_config.extractor);
-  (void)stream_capture(camera, trace, /*start_offset_s=*/0.0,
-                       config_.pipeline_lookahead, stages.stages(), collector);
-  const rx::SlotTimeline timeline = collector.timeline();
+  const std::uint64_t capture_seed = rng_();
+  const std::unique_ptr<frontend::SlotObservationSource> source =
+      make_frontend(config_, trace, /*start_offset_s=*/0.0, capture_seed);
+  const rx::SlotTimeline timeline = frontend::collect_timeline(*source);
 
   ThroughputResult result;
   result.bits_per_symbol = csk::bits_per_symbol(config_.order);

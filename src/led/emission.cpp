@@ -29,6 +29,11 @@ std::size_t EmissionTrace::segment_at(double t) const noexcept {
 
 Vec3 EmissionTrace::sample(double t) const noexcept {
   if (segments_.empty()) return {};
+  // A NaN query would otherwise reach the binary search, whose
+  // comparisons all answer false for NaN — std::upper_bound requires a
+  // strict weak ordering over the probed value, so that is UB, not just
+  // a wrong segment. Dark is the defined answer for "no such time".
+  if (std::isnan(t)) return {};
   if (t <= 0.0) return segments_.front().rgb;
   if (t >= total_duration_) return segments_.back().rgb;
   return segments_[segment_at(t)].rgb;
@@ -40,9 +45,18 @@ Vec3 EmissionTrace::integral_to(double t) const noexcept {
 }
 
 Vec3 EmissionTrace::average(double t0, double t1) const noexcept {
-  if (t1 <= t0 || segments_.empty()) return {};
+  // !(t1 > t0) rejects empty and inverted windows *and* any NaN
+  // endpoint: a NaN that slipped past the comparisons below would reach
+  // the prefix-sum binary search, where comparing against NaN breaks
+  // std::upper_bound's strict-weak-ordering precondition (UB). The pd
+  // sampler queries arbitrary caller-supplied windows, so every such
+  // window must have a defined (dark) result.
+  if (!(t1 > t0) || segments_.empty()) return {};
   const double window = t1 - t0;
-  // Clip to the trace extent; outside it the LED is dark.
+  // Clip to the trace extent; outside it the LED is dark. An endpoint
+  // at ±infinity clips to a finite bound (or makes the clipped window
+  // empty), and an infinite-length window divides a finite integral to
+  // a mean of zero — both defined.
   const double lo = std::max(t0, 0.0);
   const double hi = std::min(t1, total_duration_);
   if (hi <= lo) return {};

@@ -1,0 +1,79 @@
+#include "colorbars/pd/pd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "colorbars/color/srgb.hpp"
+
+namespace colorbars::pd {
+
+std::vector<PdChannelSpec> default_pd_array() {
+  const util::Mat3& m = color::xyz_to_srgb_matrix();
+  std::vector<PdChannelSpec> channels(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    channels[c].filter_xyz = {m(c, 0), m(c, 1), m(c, 2)};
+    channels[c].rgb_weight = {c == 0 ? 1.0 : 0.0, c == 1 ? 1.0 : 0.0,
+                              c == 2 ? 1.0 : 0.0};
+    channels[c].responsivity = 1.0;
+  }
+  return channels;
+}
+
+namespace {
+
+[[nodiscard]] bool finite(const util::Vec3& v) noexcept {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+[[noreturn]] void fail(const char* what) { throw std::invalid_argument(what); }
+
+}  // namespace
+
+void PdConfig::validate() const {
+  if (channels.size() < 3) {
+    fail("PdConfig: at least 3 filtered channels are required");
+  }
+  for (const PdChannelSpec& channel : channels) {
+    if (!finite(channel.filter_xyz) || !finite(channel.rgb_weight)) {
+      fail("PdConfig: channel filter/weight must be finite");
+    }
+    if (!(channel.responsivity > 0.0) || !std::isfinite(channel.responsivity)) {
+      fail("PdConfig: channel responsivity must be positive and finite");
+    }
+  }
+  if (!(sample_rate_hz > 0.0) || !std::isfinite(sample_rate_hz)) {
+    fail("PdConfig: sample_rate_hz must be positive and finite");
+  }
+  if (adc_bits < 0 || adc_bits > 24) {
+    fail("PdConfig: adc_bits must be in [0, 24]");
+  }
+  if (!(read_noise >= 0.0) || !std::isfinite(read_noise)) {
+    fail("PdConfig: read_noise must be non-negative and finite");
+  }
+  if (!(shot_noise >= 0.0) || !std::isfinite(shot_noise)) {
+    fail("PdConfig: shot_noise must be non-negative and finite");
+  }
+  if (!(agc_target > 0.0) || !(agc_target <= 1.0)) {
+    fail("PdConfig: agc_target must be in (0, 1]");
+  }
+  if (!(agc_window_s > 0.0) || !std::isfinite(agc_window_s)) {
+    fail("PdConfig: agc_window_s must be positive and finite");
+  }
+  if (block_samples < 1) fail("PdConfig: block_samples must be >= 1");
+  if (lookahead_blocks < 1) fail("PdConfig: lookahead_blocks must be >= 1");
+  if (!(transition_threshold > 0.0) || !std::isfinite(transition_threshold)) {
+    fail("PdConfig: transition_threshold must be positive and finite");
+  }
+  if (!(guard_fraction >= 0.0) || !(guard_fraction <= 0.45)) {
+    fail("PdConfig: guard_fraction must be in [0, 0.45]");
+  }
+  if (!(min_coverage > 0.0) || !(min_coverage <= 1.0)) {
+    fail("PdConfig: min_coverage must be in (0, 1]");
+  }
+  if (min_transitions < 1) fail("PdConfig: min_transitions must be >= 1");
+  if (max_acquisition_slots < 1) {
+    fail("PdConfig: max_acquisition_slots must be >= 1");
+  }
+}
+
+}  // namespace colorbars::pd

@@ -1,0 +1,165 @@
+#include "colorbars/pd/reducer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "colorbars/color/lab.hpp"
+#include "colorbars/color/srgb.hpp"
+
+namespace colorbars::pd {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+SlotReducer::SlotReducer(const PdConfig& config, double symbol_rate_hz)
+    : config_(config),
+      symbol_period_s_(1.0 / symbol_rate_hz),
+      sample_period_s_(1.0 / config.sample_rate_hz),
+      channels_(static_cast<int>(config.channels.size())),
+      min_slot_samples_(config.min_coverage * config.sample_rate_hz / symbol_rate_hz) {
+  const double samples_per_slot = config_.sample_rate_hz / symbol_rate_hz;
+  max_acquisition_samples_ = static_cast<long long>(
+      std::ceil(static_cast<double>(config_.max_acquisition_slots) * samples_per_slot));
+  prev_values_.resize(static_cast<std::size_t>(channels_));
+  slot_sum_.resize(static_cast<std::size_t>(channels_));
+  interior_sum_.resize(static_cast<std::size_t>(channels_));
+}
+
+void SlotReducer::observe_transition(double boundary_time_s, double weight) {
+  // Vote for the boundary phase modulo the symbol period, weighted by
+  // the level change: a boundary splitting one sample spreads its level
+  // change across the two adjacent junctions proportionally to the
+  // split, so the weighted circular mean lands on the true boundary.
+  const double phase = std::fmod(boundary_time_s, symbol_period_s_);
+  const double angle = kTwoPi * phase / symbol_period_s_;
+  vote_sin_ += weight * std::sin(angle);
+  vote_cos_ += weight * std::cos(angle);
+  ++transitions_;
+}
+
+void SlotReducer::freeze_phase(std::vector<rx::SlotObservation>& out) {
+  frozen_ = true;
+  if (vote_sin_ != 0.0 || vote_cos_ != 0.0) {
+    // atan2 lands in (-pi, pi], so the phase lands in (-T/2, T/2] —
+    // centered on the nominal grid, never wrapping a near-zero phase to
+    // almost a full period (which would shift every slot index by one).
+    phase_s_ = std::atan2(vote_sin_, vote_cos_) / kTwoPi * symbol_period_s_;
+  } else {
+    // No transitions at all (an all-white or all-dark capture): fall
+    // back to the transmitter's nominal slot grid.
+    phase_s_ = 0.0;
+  }
+  // Replay the acquisition buffer under the frozen phase, in stream
+  // order — the observation stream always reflects the final clock.
+  const std::size_t pending = pending_times_.size();
+  for (std::size_t i = 0; i < pending; ++i) {
+    reduce_sample(pending_times_[i],
+                  pending_values_.data() + i * static_cast<std::size_t>(channels_), out);
+  }
+  pending_times_.clear();
+  pending_times_.shrink_to_fit();
+  pending_values_.clear();
+  pending_values_.shrink_to_fit();
+}
+
+void SlotReducer::finalize_slot(std::vector<rx::SlotObservation>& out) {
+  if (static_cast<double>(slot_count_) >= min_slot_samples_) {
+    // Guarded interior mean when the slot has interior samples; the
+    // whole-slot mean otherwise (very low oversampling ratios).
+    const long long n = interior_count_ > 0 ? interior_count_ : slot_count_;
+    const std::vector<double>& sums = interior_count_ > 0 ? interior_sum_ : slot_sum_;
+    util::Vec3 rgb_linear{};
+    for (int c = 0; c < channels_; ++c) {
+      const double mean = sums[static_cast<std::size_t>(c)] / static_cast<double>(n);
+      rgb_linear += config_.channels[static_cast<std::size_t>(c)].rgb_weight * mean;
+    }
+    rgb_linear = rgb_linear.clamped(0.0, 1.0);
+    // Same color representation the camera's bands carry — gamma-encoded
+    // sRGB plus Lab chroma/lightness — so the calibration/classifier
+    // back half is shared verbatim between frontends.
+    const color::Lab lab = color::xyz_to_lab(color::linear_srgb_to_xyz(rgb_linear));
+    rx::SlotObservation observation;
+    observation.slot = current_slot_;
+    observation.chroma = color::chroma_of(lab);
+    observation.lightness = lab.L;
+    observation.rgb = color::srgb_encode(rgb_linear);
+    out.push_back(observation);
+    ++slots_emitted_;
+  }
+  slot_count_ = 0;
+  interior_count_ = 0;
+  std::fill(slot_sum_.begin(), slot_sum_.end(), 0.0);
+  std::fill(interior_sum_.begin(), interior_sum_.end(), 0.0);
+}
+
+void SlotReducer::reduce_sample(double t0, const double* values,
+                                std::vector<rx::SlotObservation>& out) {
+  // Assign by sample midpoint: slot k covers [phase + kT, phase + (k+1)T).
+  const double midpoint = t0 + 0.5 * sample_period_s_;
+  const auto slot = static_cast<long long>(
+      std::floor((midpoint - phase_s_) / symbol_period_s_));
+  if (!slot_active_) {
+    slot_active_ = true;
+    current_slot_ = slot;
+  } else if (slot != current_slot_) {
+    finalize_slot(out);
+    current_slot_ = slot;
+  }
+  ++slot_count_;
+  for (int c = 0; c < channels_; ++c) {
+    slot_sum_[static_cast<std::size_t>(c)] += values[c];
+  }
+  const double slot_start =
+      phase_s_ + static_cast<double>(slot) * symbol_period_s_;
+  const double guard = config_.guard_fraction * symbol_period_s_;
+  if (t0 >= slot_start + guard &&
+      t0 + sample_period_s_ <= slot_start + symbol_period_s_ - guard) {
+    ++interior_count_;
+    for (int c = 0; c < channels_; ++c) {
+      interior_sum_[static_cast<std::size_t>(c)] += values[c];
+    }
+  }
+}
+
+void SlotReducer::ingest(const SampleBlock& block, std::vector<rx::SlotObservation>& out) {
+  for (int i = 0; i < block.count; ++i) {
+    const double* values =
+        block.samples.data() + static_cast<std::size_t>(i) * block.channels;
+    const double t0 = block.start_time_s + static_cast<double>(i) * block.sample_period_s;
+    if (frozen_) {
+      reduce_sample(t0, values, out);
+      continue;
+    }
+    // Acquisition: accumulate transition votes and buffer the sample
+    // for replay once the phase freezes.
+    if (have_prev_) {
+      double diff = 0.0;
+      for (int c = 0; c < channels_; ++c) {
+        diff = std::max(diff, std::abs(values[c] - prev_values_[static_cast<std::size_t>(c)]));
+      }
+      if (diff >= config_.transition_threshold) {
+        observe_transition(t0, diff);
+      }
+    }
+    std::copy(values, values + channels_, prev_values_.begin());
+    have_prev_ = true;
+    pending_times_.push_back(t0);
+    pending_values_.insert(pending_values_.end(), values, values + channels_);
+    ++samples_seen_;
+    if (transitions_ >= config_.min_transitions ||
+        samples_seen_ >= max_acquisition_samples_) {
+      freeze_phase(out);
+    }
+  }
+}
+
+void SlotReducer::finish(std::vector<rx::SlotObservation>& out) {
+  if (!frozen_) freeze_phase(out);
+  if (slot_active_) {
+    finalize_slot(out);
+    slot_active_ = false;
+  }
+}
+
+}  // namespace colorbars::pd

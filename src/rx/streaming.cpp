@@ -39,7 +39,12 @@ void StreamingReceiver::push_frame(const camera::Frame& frame, int column_begin,
   stats_.arena_peak_bytes = static_cast<long long>(arena.peak_bytes);
 }
 
-void StreamingReceiver::ingest_slots(const std::vector<SlotObservation>& slots) {
+void StreamingReceiver::push_observations(std::span<const SlotObservation> observations) {
+  ingest_slots(observations);
+  (void)drain(/*final_flush=*/false);
+}
+
+void StreamingReceiver::ingest_slots(std::span<const SlotObservation> slots) {
   for (const SlotObservation& slot : slots) {
     if (!window_valid_) {
       window_.base_slot = slot.slot;

@@ -233,6 +233,36 @@ TEST(Determinism, ImpairedChannelIdenticalAcrossThreadCounts) {
   expect_same_at_all_thread_counts(run);
 }
 
+TEST(Determinism, PhotodiodeLinkIdenticalAcrossThreadCounts) {
+  // The pd frontend's prefetch ring fans block rendering across the
+  // pool; block noise derives from (seed, block index), so a whole
+  // photodiode link run — through every radiance-domain channel stage —
+  // must be byte-identical at any thread count.
+  auto run = [] {
+    core::LinkConfig config = small_link();
+    config.frontend = frontend::FrontendKind::kPhotodiode;
+    config.channel.distance.distance_m = 0.05;
+    config.channel.ambient.level = 0.02;
+    config.channel.flicker.frequency_hz = 100.0;
+    config.channel.flicker.modulation_depth = 0.4;
+    config.channel.occlusion.rate_hz = 3.0;
+    config.channel.occlusion.mean_duration_s = 0.02;
+    core::LinkSimulator sim(config);
+    const core::SerResult ser = sim.run_ser(600);
+    std::vector<std::uint8_t> bytes(200);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(i * 17 + 3);
+    }
+    const core::LinkRunResult payload = sim.run_payload(bytes);
+    std::vector<long long> flat{ser.symbols_sent, ser.symbols_observed,
+                                ser.symbol_errors,
+                                static_cast<long long>(payload.recovered_bytes)};
+    for (std::uint8_t byte : payload.report.payload) flat.push_back(byte);
+    return flat;
+  };
+  expect_same_at_all_thread_counts(run);
+}
+
 TEST(Determinism, AdaptiveRunIdenticalAcrossThreadCounts) {
   // The closed control loop is sequential; only frame rendering fans
   // out. A whole adaptive run — rung switches, feedback delivery, epoch

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "colorbars/util/rng.hpp"
 
@@ -79,6 +80,42 @@ TEST(EmissionTrace, DegenerateWindowIsDark) {
   trace.append(1.0, {1, 1, 1});
   EXPECT_EQ(trace.average(0.5, 0.5), Vec3());
   EXPECT_EQ(trace.average(0.7, 0.3), Vec3());
+}
+
+TEST(EmissionTrace, NanQueriesAreDarkNotUndefined) {
+  // A NaN reaching the prefix-sum binary search would break
+  // std::upper_bound's strict-weak-ordering precondition (UB); the
+  // defined answer for "no such time" is darkness. The pd sampler
+  // forwards caller-supplied windows verbatim, so these must be safe.
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(trace.sample(nan), Vec3());
+  EXPECT_EQ(trace.average(nan, 0.5), Vec3());
+  EXPECT_EQ(trace.average(0.0, nan), Vec3());
+  EXPECT_EQ(trace.average(nan, nan), Vec3());
+}
+
+TEST(EmissionTrace, InfiniteWindowsHaveDefinedMeans) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  const double inf = std::numeric_limits<double>::infinity();
+  // An infinite-length window divides a finite integral: mean zero.
+  EXPECT_EQ(trace.average(-inf, inf), Vec3());
+  EXPECT_EQ(trace.average(0.0, inf), Vec3());
+  EXPECT_EQ(trace.average(-inf, 1.0), Vec3());
+  // An inverted infinite window is still empty.
+  EXPECT_EQ(trace.average(inf, -inf), Vec3());
+  // sample() clamps to the trace ends, including at infinity.
+  EXPECT_EQ(trace.sample(inf), Vec3(1, 1, 1));
+  EXPECT_EQ(trace.sample(-inf), Vec3(1, 1, 1));
+}
+
+TEST(EmissionTrace, WindowsEntirelyOutsideTheTraceAreDark) {
+  EmissionTrace trace;
+  trace.append(1.0, {1, 1, 1});
+  EXPECT_EQ(trace.average(2.0, 3.0), Vec3());
+  EXPECT_EQ(trace.average(-3.0, -2.0), Vec3());
 }
 
 TEST(EmissionTrace, AppendTraceConcatenates) {

@@ -33,7 +33,10 @@ TEST(UmbrellaHeader, ExposesTheWholePublicSurface) {
   EXPECT_GT(classifier.off_lightness, 0.0);
   const baseline::FskConfig fsk;
   EXPECT_EQ(fsk.bits_per_symbol(), 3);
+  EXPECT_EQ(pd::default_pd_array().size(), 3u);
+  EXPECT_NO_THROW(pd::PdConfig{}.validate());
   core::LinkConfig link;
+  EXPECT_EQ(link.frontend, frontend::FrontendKind::kCamera);
   EXPECT_EQ(link.transmitter_config().format.order, link.order);
   const adapt::LinkQuality quality;
   EXPECT_FALSE(quality.header_loss_valid);
