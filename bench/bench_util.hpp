@@ -139,6 +139,7 @@ inline const char* order_name(csk::CskOrder order) {
     case csk::CskOrder::kCsk8: return "CSK8";
     case csk::CskOrder::kCsk16: return "CSK16";
     case csk::CskOrder::kCsk32: return "CSK32";
+    case csk::CskOrder::kCsk64: return "CSK64";
   }
   return "?";
 }

@@ -92,8 +92,9 @@ bool build_config(const Options& options, core::LinkConfig& config) {
     case 8: config.order = csk::CskOrder::kCsk8; break;
     case 16: config.order = csk::CskOrder::kCsk16; break;
     case 32: config.order = csk::CskOrder::kCsk32; break;
+    case 64: config.order = csk::CskOrder::kCsk64; break;
     default:
-      std::fprintf(stderr, "order must be 4, 8, 16 or 32\n");
+      std::fprintf(stderr, "order must be 4, 8, 16, 32 or 64\n");
       return false;
   }
   if (options.rate <= 0 || options.rate > 4500) {

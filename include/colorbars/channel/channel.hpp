@@ -23,8 +23,10 @@
 // count.
 
 #include <cstdint>
+#include <vector>
 
 #include "colorbars/color/cie.hpp"
+#include "colorbars/led/emission.hpp"
 #include "colorbars/util/vec3.hpp"
 
 namespace colorbars::channel {
@@ -82,6 +84,35 @@ struct OcclusionSpec {
   double transmission = 0.0;
 };
 
+/// Multipath/diffuse delay spread — inter-symbol interference. A
+/// reflective or diffuse optical path (a wall-bounce link, a frosted
+/// luminaire diffuser) stretches the LED's impulse response into an
+/// exponentially decaying tail, so each exposure window also integrates
+/// delayed copies of *earlier* emission (Singh et al.'s frequency-domain
+/// equalization targets exactly this channel). Modeled as a causal
+/// discrete-tap filter: tap d contributes the emission delayed by
+/// d * tap_spacing_s with weight proportional to
+/// exp(-d * tap_spacing_s / delay_spread_s), weights normalized to sum
+/// to one so the channel conserves mean radiance (auto-exposure and AGC
+/// metering see the same steady scene). Purely deterministic — no RNG —
+/// so captures stay byte-identical at any thread count.
+struct IsiSpec {
+  /// Exponential decay time constant of the impulse-response tail, in
+  /// seconds; 0 disables the stage entirely (identity channel).
+  double delay_spread_s = 0.0;
+  /// Discrete taps including the direct path (tap 0). Must be >= 2 when
+  /// the stage is enabled (one tap would be the identity).
+  int taps = 4;
+  /// Tap spacing in seconds; <= 0 derives it from delay_spread_s (one
+  /// tap per decay constant).
+  double tap_spacing_s = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return delay_spread_s > 0.0; }
+  [[nodiscard]] double spacing_s() const noexcept {
+    return tap_spacing_s > 0.0 ? tap_spacing_s : delay_spread_s;
+  }
+};
+
 /// Frame-domain impairments, realized as pipeline::FrameStage hooks
 /// between camera and receiver (see channel/stages.hpp).
 struct FrameImpairmentSpec {
@@ -104,6 +135,7 @@ struct ChannelSpec {
   AmbientSpec ambient{};
   FlickerSpec flicker{};
   OcclusionSpec occlusion{};
+  IsiSpec isi{};
   FrameImpairmentSpec frame{};
 
   /// Throws std::invalid_argument unless every parameter is in range
@@ -155,6 +187,18 @@ class OpticalChannel {
   /// including AC flicker when configured.
   [[nodiscard]] util::Vec3 ambient_xyz(double t0, double t1) const noexcept;
 
+  /// True when the channel has a delay-spread (ISI) stage configured.
+  [[nodiscard]] bool has_isi() const noexcept { return has_isi_; }
+
+  /// Mean LED radiance over [t0, t1] *through the channel's impulse
+  /// response*: the exposure integral of the emission convolved with the
+  /// delay-spread taps. Exactly trace.average(t0, t1) when no ISI is
+  /// configured, so the identity channel leaves every exposure integral
+  /// bit-identical to the pre-ISI code. Pure function of time (no RNG):
+  /// byte-identical at any thread count.
+  [[nodiscard]] util::Vec3 led_average(const led::EmissionTrace& trace, double t0,
+                                       double t1) const noexcept;
+
  private:
   ChannelSpec spec_;
   std::uint64_t seed_ = 0;
@@ -162,6 +206,11 @@ class OpticalChannel {
   util::Vec3 ambient_base_xyz_{};
   bool has_occlusion_ = false;
   bool has_flicker_ = false;
+  bool has_isi_ = false;
+  /// Normalized exponential-decay tap weights (precomputed; empty when
+  /// the ISI stage is disabled).
+  std::vector<double> isi_weights_;
+  double isi_spacing_s_ = 0.0;
 };
 
 }  // namespace colorbars::channel

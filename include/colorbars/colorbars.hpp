@@ -49,8 +49,11 @@
 
 #include "colorbars/channel/stages.hpp"  // frame-domain channel impairments
 
+#include "colorbars/eq/state.hpp"   // decision-engine config + equalizer state
+
 #include "colorbars/rx/band_extractor.hpp"     // frame -> slot observations
 #include "colorbars/rx/calibration_store.hpp"  // references + classifier
+#include "colorbars/eq/engine.hpp"             // pluggable symbol-decision engines
 #include "colorbars/rx/receiver.hpp"           // batch receiver
 #include "colorbars/rx/streaming.hpp"          // frame-at-a-time receiver
 #include "colorbars/rx/rate_estimator.hpp"     // blind symbol-rate recovery

@@ -57,6 +57,11 @@ struct LinkConfig {
   /// Receiver matching/classification tuning (ablation knob: matching
   /// space, thresholds).
   rx::ClassifierConfig classifier{};
+  /// Symbol-decision engine the receiver classifies data slots with.
+  /// The default nearest-reference engine reproduces the pre-seam link
+  /// byte-for-byte; the equalized engines invert rolling-shutter /
+  /// delay-spread ISI and unlock the CSK64 extension rungs.
+  eq::EngineConfig engine{};
   /// Ablation knobs (see TransmitterConfig / ReceiverConfig).
   bool enable_dephasing_pad = true;
   bool use_erasure_decoding = true;
@@ -116,6 +121,16 @@ struct SerResult {
   long long symbols_observed = 0;
   long long symbol_errors = 0;
   double inter_frame_loss_ratio = 0.0;  ///< measured 1 - observed/sent
+
+  // Decision-engine diagnostics from the measurement's receiver (see
+  // eq::DecisionStats / eq::EqualizerState): how many classifications
+  // fell back to the plain scan for lack of FIR context, and whether
+  // calibration produced usable taps.
+  long long engine_decisions = 0;
+  long long engine_fallback_decisions = 0;
+  long long engine_retrains = 0;
+  long long engine_train_fallbacks = 0;
+  double engine_tap_norm = 0.0;
 
   [[nodiscard]] double ser() const noexcept {
     return symbols_observed > 0

@@ -140,6 +140,13 @@ class CameraFrontend final : public SlotObservationSource {
 struct FrontendRunStats {
   long long blocks = 0;        ///< blocks delivered (frames / sample blocks)
   long long observations = 0;  ///< slot observations across all blocks
+  // Decision-engine counters copied from the receiver after the final
+  // flush (see rx::StreamingStats engine_* fields).
+  long long engine_decisions = 0;
+  long long engine_fallback_decisions = 0;
+  long long engine_retrains = 0;
+  long long engine_train_fallbacks = 0;
+  double engine_tap_norm = 0.0;
 };
 
 /// Drives a frontend to completion into a streaming receiver: every

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "colorbars/color/lab.hpp"
+#include "colorbars/eq/state.hpp"
 #include "colorbars/protocol/symbols.hpp"
 #include "colorbars/rx/band_extractor.hpp"
 
@@ -128,10 +129,20 @@ class CalibrationStore {
            color::delta_e_ab(observation.chroma, {0.0, 0.0}) < config_.off_max_chroma;
   }
 
+  /// Equalizer state fit by an eq::DecisionEngine from the same
+  /// calibration packets that populate the references. It lives here —
+  /// not in the engine — so the taps travel with the references they
+  /// deconvolve (streaming epoch handoffs, store copies).
+  [[nodiscard]] eq::EqualizerState& equalizer() noexcept { return equalizer_; }
+  [[nodiscard]] const eq::EqualizerState& equalizer() const noexcept {
+    return equalizer_;
+  }
+
  private:
   ClassifierConfig config_;
   std::vector<std::optional<ReferenceColor>> references_;
   ReferenceColor white_reference_{};
+  eq::EqualizerState equalizer_{};
 };
 
 }  // namespace colorbars::rx

@@ -9,11 +9,13 @@
 // they surface as erasures inside whatever packet spans the gap.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "colorbars/camera/image.hpp"
+#include "colorbars/eq/engine.hpp"
 #include "colorbars/protocol/packetizer.hpp"
 #include "colorbars/rs/reed_solomon.hpp"
 #include "colorbars/rx/band_extractor.hpp"
@@ -40,6 +42,11 @@ struct ReceiverConfig {
   /// blind error decoding — the paper's literal 2t formula — and roughly
   /// halves the recoverable loss. Ablation knob.
   bool use_erasure_decoding = true;
+  /// Symbol-decision engine. The default nearest-reference engine is
+  /// byte-identical to the pre-seam receiver; the equalized engines
+  /// (eq::EngineKind::kLinearMmse / kFrequencyDomain) invert the
+  /// rolling-shutter ISI and are what makes CSK64 decodable.
+  eq::EngineConfig engine{};
 };
 
 /// The dense slot timeline assembled from a set of frames.
@@ -185,6 +192,19 @@ class Receiver {
   [[nodiscard]] int classify_data(const SlotObservation& observation,
                                   double* margin_out) const;
 
+  /// Contextual classification: decides the data symbol at `position`
+  /// of the timeline through the configured decision engine, which may
+  /// read the trailing slots as FIR context. `timeline.slots[position]`
+  /// must be an observed cell. This is the call the parse loops use;
+  /// the observation-only overloads above classify through a
+  /// single-cell window (equalized engines then take their documented
+  /// nearest-reference fallback).
+  [[nodiscard]] int classify_data(const SlotTimeline& timeline, std::size_t position,
+                                  double* margin_out = nullptr) const;
+
+  /// The decision engine behind classify_data (for stats readout).
+  [[nodiscard]] const eq::DecisionEngine& engine() const noexcept { return *engine_; }
+
  private:
   /// Observation state of one timeline slot.
   enum class SlotState { kMissing, kOff, kLit };
@@ -235,11 +255,21 @@ class Receiver {
   [[nodiscard]] std::vector<std::optional<ReferenceColor>> read_calibration_colors(
       const SlotTimeline& timeline, std::size_t colors_at) const;
 
+  /// Forwards one absorbed calibration packet to the decision engine as
+  /// training data: `raw_colors` in slot order (pre-permutation, so the
+  /// temporal structure the equalizer fits is preserved) with the known
+  /// transmitted constellation index of each slot under `variant`.
+  void train_engine(const std::vector<std::optional<ReferenceColor>>& raw_colors,
+                    CalibrationVariant variant);
+
   ReceiverConfig config_;
   csk::Constellation constellation_;
   protocol::Packetizer packetizer_;
   rs::ReedSolomon code_;
   CalibrationStore store_;
+  /// Pluggable symbol-decision engine (never null). unique_ptr makes
+  /// Receiver move-only, which every holder already honors.
+  std::unique_ptr<eq::DecisionEngine> engine_;
   /// Start-of-packet sequences (delimiter + flag), built once.
   std::vector<protocol::ChannelSymbol> data_prefix_;
   std::vector<protocol::ChannelSymbol> calibration_prefix_;

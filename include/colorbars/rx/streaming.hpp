@@ -78,6 +78,16 @@ struct StreamingStats {
   long long arena_resets = 0;
   long long arena_reuse_hits = 0;
   long long arena_peak_bytes = 0;  ///< largest one-frame scratch footprint
+  // Decision-engine counters (see eq::DecisionStats / eq::EqualizerState),
+  // refreshed after every drain and accumulated across begin_epoch
+  // reconfigurations.
+  long long engine_decisions = 0;          ///< data-slot decisions taken
+  long long engine_fallback_decisions = 0; ///< decided on the nearest fallback
+  double engine_margin_sum = 0.0;          ///< Σ per-decision ΔE margins
+  long long engine_margin_count = 0;
+  long long engine_retrains = 0;           ///< successful tap estimations
+  long long engine_train_fallbacks = 0;    ///< estimations the guard rejected
+  double engine_tap_norm = 0.0;            ///< current epoch's equalizer ‖w‖₂
 };
 
 class StreamingReceiver : public pipeline::FrameSink {
@@ -180,6 +190,10 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// Records per-drain stats bookkeeping shared by every drain path.
   void note_drain(double elapsed_s, long long scanned_before) noexcept;
 
+  /// Refreshes the engine_* stats from the inner receiver's engine and
+  /// equalizer state, on top of the accumulated pre-epoch base.
+  void refresh_engine_stats() noexcept;
+
   /// Shared ingest tail of the push_frame and push_observations paths.
   void ingest_slots(std::span<const SlotObservation> slots);
 
@@ -208,6 +222,16 @@ class StreamingReceiver : public pipeline::FrameSink {
   /// Slot span accumulated by epochs already flushed (report_.slot_span
   /// stays cumulative across begin_epoch).
   long long span_base_ = 0;
+  /// Engine counters accumulated by epochs already flushed (begin_epoch
+  /// replaces the receiver — and with it the live engine stats).
+  struct EngineStatsBase {
+    long long decisions = 0;
+    long long fallback_decisions = 0;
+    double margin_sum = 0.0;
+    long long margin_count = 0;
+    long long retrains = 0;
+    long long train_fallbacks = 0;
+  } engine_base_;
   ReceiverReport report_;
   StreamingStats stats_;
 };

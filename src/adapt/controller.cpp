@@ -14,6 +14,7 @@ std::string rung_name(const Rung& rung) {
     case csk::CskOrder::kCsk8: order = "CSK8"; break;
     case csk::CskOrder::kCsk16: order = "CSK16"; break;
     case csk::CskOrder::kCsk32: order = "CSK32"; break;
+    case csk::CskOrder::kCsk64: order = "CSK64"; break;
   }
   char buf[48];
   std::snprintf(buf, sizeof buf, "%s@%gHz", order, rung.symbol_rate_hz);
@@ -35,6 +36,24 @@ std::vector<Rung> default_ladder() {
       {csk::CskOrder::kCsk16, 2000.0},  //  8 kbps raw
       {csk::CskOrder::kCsk16, 4000.0},  // 16 kbps raw — the paper's peak goodput
   };
+}
+
+std::vector<Rung> default_ladder(eq::EngineKind engine) {
+  std::vector<Rung> ladder = default_ladder();
+  // Extension rungs above the paper's peak, gated on what the decision
+  // engine can decode (eq::max_supported_order): CSK32@4kHz (20 kbps
+  // raw) for every engine, CSK64@4kHz (24 kbps raw) only when the
+  // engine equalizes ISI — offering CSK64 to the plain scan would hand
+  // the controller a rung it can only fail on. All rates stay within
+  // the tri-LED's 4.5 kHz switching limit.
+  const int max_symbols = csk::symbol_count(eq::max_supported_order(engine));
+  if (max_symbols >= csk::symbol_count(csk::CskOrder::kCsk32)) {
+    ladder.push_back({csk::CskOrder::kCsk32, 4000.0});
+  }
+  if (max_symbols >= csk::symbol_count(csk::CskOrder::kCsk64)) {
+    ladder.push_back({csk::CskOrder::kCsk64, 4000.0});
+  }
+  return ladder;
 }
 
 void validate_ladder(const std::vector<Rung>& ladder, double max_rate_hz) {

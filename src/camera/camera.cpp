@@ -84,7 +84,7 @@ Vec3 RollingShutterCamera::expose_row(const led::EmissionTrace& trace, double re
   // its sensor response is precomputed once at construction; only a
   // flickering channel pays the per-row ambient evaluation.
   const double window_start_s = read_time_s - settings.exposure_s;
-  const Vec3 led_xyz = trace.average(window_start_s, read_time_s) *
+  const Vec3 led_xyz = channel_.led_average(trace, window_start_s, read_time_s) *
                        channel_.signal_gain(window_start_s, read_time_s);
   const Vec3 ambient_sensor =
       ambient_constant_ ? ambient_sensor_
@@ -298,8 +298,9 @@ void RollingShutterCamera::render_scene_frame_into(std::span<const RegionEmitter
     for (int r = emitter.region.top; r < emitter.region.row_end(); ++r) {
       const double read_time = start_time_s + (r + 1) * row_time;
       const double window_start = read_time - settings.exposure_s;
-      const Vec3 led_xyz = emitter.trace->average(window_start, read_time) *
-                           emitter.channel->signal_gain(window_start, read_time);
+      const Vec3 led_xyz =
+          emitter.channel->led_average(*emitter.trace, window_start, read_time) *
+          emitter.channel->signal_gain(window_start, read_time);
       region_rows[e * rows + static_cast<std::size_t>(r)] =
           ((profile_.xyz_to_sensor_rgb * led_xyz) * gain).clamped(0.0, 1e9);
     }

@@ -32,6 +32,16 @@ void ChannelSpec::validate() const {
         "ChannelSpec: occlusion rate must be >= 0 (with positive mean duration), "
         "transmission in [0, 1]");
   }
+  if (!(isi.delay_spread_s >= 0.0) || !std::isfinite(isi.delay_spread_s)) {
+    throw std::invalid_argument("ChannelSpec: ISI delay spread must be finite and >= 0");
+  }
+  if (isi.enabled() &&
+      (isi.taps < 2 || isi.taps > 64 || !(isi.tap_spacing_s >= 0.0) ||
+       !std::isfinite(isi.tap_spacing_s))) {
+    throw std::invalid_argument(
+        "ChannelSpec: enabled ISI needs 2..64 taps and a finite spacing (0 derives "
+        "one tap per decay constant)");
+  }
   if (!(frame.drop_probability >= 0.0) || !(frame.drop_probability < 1.0) ||
       !(frame.gain_wobble_sigma >= 0.0) || !(frame.gain_wobble_sigma <= 0.5)) {
     throw std::invalid_argument(
@@ -48,6 +58,21 @@ OpticalChannel::OpticalChannel(const ChannelSpec& spec, std::uint64_t seed)
   has_occlusion_ = spec_.occlusion.rate_hz > 0.0;
   has_flicker_ =
       spec_.flicker.frequency_hz > 0.0 && spec_.flicker.modulation_depth > 0.0;
+  has_isi_ = spec_.isi.enabled();
+  if (has_isi_) {
+    isi_spacing_s_ = spec_.isi.spacing_s();
+    isi_weights_.resize(static_cast<std::size_t>(spec_.isi.taps));
+    double sum = 0.0;
+    for (int d = 0; d < spec_.isi.taps; ++d) {
+      const double w =
+          std::exp(-static_cast<double>(d) * isi_spacing_s_ / spec_.isi.delay_spread_s);
+      isi_weights_[static_cast<std::size_t>(d)] = w;
+      sum += w;
+    }
+    // Normalize to unit DC gain: the tail redistributes energy in time
+    // but the steady scene (what AE/AGC meter) keeps its mean radiance.
+    for (double& w : isi_weights_) w /= sum;
+  }
 }
 
 namespace {
@@ -104,6 +129,22 @@ double OpticalChannel::signal_gain(double t0, double t1) const noexcept {
   // bit-identical to the pre-channel code.
   if (!has_occlusion_) return attenuation_gain_;
   return attenuation_gain_ * occlusion_gain(t0, t1);
+}
+
+Vec3 OpticalChannel::led_average(const led::EmissionTrace& trace, double t0,
+                                 double t1) const noexcept {
+  // ISI-free channels take the exact pre-ISI expression, so the identity
+  // channel reproduces every capture bit for bit.
+  if (!has_isi_) return trace.average(t0, t1);
+  // Convolution with a discrete causal tap train commutes with the
+  // window integral: each tap contributes the emission's mean over the
+  // window shifted back by the tap delay.
+  Vec3 sum;
+  for (std::size_t d = 0; d < isi_weights_.size(); ++d) {
+    const double delay = static_cast<double>(d) * isi_spacing_s_;
+    sum += trace.average(t0 - delay, t1 - delay) * isi_weights_[d];
+  }
+  return sum;
 }
 
 Vec3 OpticalChannel::ambient_xyz(double t0, double t1) const noexcept {

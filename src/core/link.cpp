@@ -88,6 +88,7 @@ rx::ReceiverConfig LinkConfig::receiver_config() const {
   config.frame_rate_hz = profile.fps;
   config.classifier = classifier;
   config.use_erasure_decoding = use_erasure_decoding;
+  config.engine = engine;
   const rs::CodeParameters link_code = code();
   config.rs_n = link_code.n;
   config.rs_k = link_code.k;
@@ -255,9 +256,20 @@ SerResult LinkSimulator::run_ser(int symbol_count) {
     const auto& cell = timeline.slots[static_cast<std::size_t>(offset)];
     if (!cell.has_value()) continue;
     ++result.symbols_observed;
-    const int detected = receiver.classify_data(*cell);
+    // Contextual classification: equalized engines read the trailing
+    // slots of the timeline as FIR context, exactly as the packet parse
+    // does.
+    const int detected =
+        receiver.classify_data(timeline, static_cast<std::size_t>(offset));
     if (detected != symbols[i]) ++result.symbol_errors;
   }
+  const eq::DecisionStats& decision_stats = receiver.engine().stats();
+  const eq::EqualizerState& equalizer_state = receiver.store().equalizer();
+  result.engine_decisions = decision_stats.decisions;
+  result.engine_fallback_decisions = decision_stats.fallback_decisions;
+  result.engine_retrains = equalizer_state.retrains;
+  result.engine_train_fallbacks = equalizer_state.train_fallbacks;
+  result.engine_tap_norm = equalizer_state.tap_norm();
   // Guard the empty measurement: 0/0 would make the ratio NaN (and a
   // stale negative with symbols_observed > 0 impossible anyway).
   result.inter_frame_loss_ratio =

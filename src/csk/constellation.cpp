@@ -6,6 +6,9 @@
 #include <span>
 #include <stdexcept>
 
+#include "colorbars/color/lab.hpp"
+#include "colorbars/color/srgb.hpp"
+
 namespace colorbars::csk {
 
 using color::Barycentric;
@@ -14,7 +17,8 @@ using color::GamutTriangle;
 
 const std::vector<CskOrder>& all_orders() {
   static const std::vector<CskOrder> orders{CskOrder::kCsk4, CskOrder::kCsk8,
-                                            CskOrder::kCsk16, CskOrder::kCsk32};
+                                            CskOrder::kCsk16, CskOrder::kCsk32,
+                                            CskOrder::kCsk64};
   return orders;
 }
 
@@ -117,6 +121,62 @@ std::vector<Chromaticity> maxmin_packing(const GamutTriangle& gamut, int count,
   return chosen;
 }
 
+std::vector<Chromaticity> maxmin_packing_lab(const GamutTriangle& gamut, int count,
+                                             int grid_resolution) {
+  if (count < 3) throw std::invalid_argument("maxmin_packing_lab: need at least 3 points");
+  if (grid_resolution < 2) throw std::invalid_argument("maxmin_packing_lab: grid too coarse");
+
+  // Reference render: a fully-driven symbol at chromaticity (x, y) emits
+  // the unit-power tristimulus (x, y, 1-x-y) (TriLed::radiance), which
+  // the reference sensor (ideal profile == sRGB response) integrates,
+  // clips per channel, and the receiver converts to CIELab. The 1.3
+  // exposure scale sits on the plateau where the camera's auto-exposure
+  // lands for the pattern white; rendered vertices match the calibrated
+  // references to within ~1 ΔE there.
+  constexpr double kExposureScale = 1.3;
+  auto rendered_ab = [](const Chromaticity& c) {
+    const color::XYZ emitted{c.x * kExposureScale, c.y * kExposureScale,
+                             (1.0 - c.x - c.y) * kExposureScale};
+    const util::Vec3 sensor = color::xyz_to_linear_srgb(emitted).clamped(0.0, 1.0);
+    return color::chroma_of(color::xyz_to_lab(color::linear_srgb_to_xyz(sensor)));
+  };
+
+  std::vector<Chromaticity> candidates;
+  std::vector<color::ChromaAB> candidate_ab;
+  candidates.reserve(static_cast<std::size_t>((grid_resolution + 1) *
+                                              (grid_resolution + 2) / 2));
+  for (int i = 0; i <= grid_resolution; ++i) {
+    for (int j = 0; j <= grid_resolution - i; ++j) {
+      const double r = static_cast<double>(i) / grid_resolution;
+      const double g = static_cast<double>(j) / grid_resolution;
+      candidates.push_back(gamut.at({r, g, 1.0 - r - g}));
+      candidate_ab.push_back(rendered_ab(candidates.back()));
+    }
+  }
+
+  std::vector<Chromaticity> chosen{gamut.red(), gamut.green(), gamut.blue()};
+  std::vector<double> dist_to_chosen(candidates.size(),
+                                     std::numeric_limits<double>::infinity());
+  auto relax = [&](const Chromaticity& p) {
+    const color::ChromaAB ab = rendered_ab(p);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      dist_to_chosen[i] =
+          std::min(dist_to_chosen[i], color::delta_e_ab(candidate_ab[i], ab));
+    }
+  };
+  for (const Chromaticity& p : chosen) relax(p);
+
+  while (static_cast<int>(chosen.size()) < count) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (dist_to_chosen[i] > dist_to_chosen[best]) best = i;
+    }
+    chosen.push_back(candidates[best]);
+    relax(candidates[best]);
+  }
+  return chosen;
+}
+
 std::vector<Chromaticity> optimize_constellation(const GamutTriangle& gamut,
                                                  std::vector<Chromaticity> points,
                                                  int iterations) {
@@ -196,6 +256,17 @@ Constellation::Constellation(CskOrder order, const GamutTriangle& gamut)
       break;
     case CskOrder::kCsk32:
       points_ = maxmin_packing(gamut, 32);
+      break;
+    case CskOrder::kCsk64:
+      // The equalized-decode extension target (toward the 512-CSK
+      // neural-equalization demonstrations). Packed in the receiver's
+      // rendered-(a,b) decision metric: at this density an xy-plane
+      // packing drops symbol pairs onto nearly coincident post-clipping
+      // chroma (measured min pairwise ΔE 0.017 — unclassifiable at any
+      // SNR), while the Lab packing keeps every pair separable. A finer
+      // candidate grid than the 32-point default keeps the greedy
+      // packing's min-distance loss negligible at this density.
+      points_ = maxmin_packing_lab(gamut, 64, 96);
       break;
   }
   if (static_cast<int>(points_.size()) != symbol_count(order)) {

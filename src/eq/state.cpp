@@ -1,0 +1,54 @@
+#include "colorbars/eq/state.hpp"
+
+#include <stdexcept>
+
+namespace colorbars::eq {
+
+const char* engine_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kNearestReference: return "nearest";
+    case EngineKind::kLinearMmse: return "mmse";
+    case EngineKind::kFrequencyDomain: return "freq";
+  }
+  return "?";
+}
+
+csk::CskOrder max_supported_order(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kNearestReference:
+      // The paper's ceiling: beyond CSK32 the packing's min ΔE drops
+      // under the rolling-shutter ISI floor and the plain scan collapses.
+      return csk::CskOrder::kCsk32;
+    case EngineKind::kLinearMmse:
+    case EngineKind::kFrequencyDomain:
+      return csk::CskOrder::kCsk64;
+  }
+  return csk::CskOrder::kCsk32;
+}
+
+void EngineConfig::validate() const {
+  if (channel_taps < 1 || channel_taps > 16) {
+    throw std::invalid_argument("EngineConfig: channel_taps must be in [1, 16]");
+  }
+  if (equalizer_taps < 1 || equalizer_taps > 32) {
+    throw std::invalid_argument("EngineConfig: equalizer_taps must be in [1, 32]");
+  }
+  if (!(mmse_lambda >= 0.0) || !(mmse_lambda < 1e6)) {
+    throw std::invalid_argument("EngineConfig: mmse_lambda must be in [0, 1e6)");
+  }
+  if (dft_size < channel_taps + equalizer_taps || dft_size > 4096) {
+    throw std::invalid_argument(
+        "EngineConfig: dft_size must cover channel_taps + equalizer_taps (and be <= 4096)");
+  }
+  if (!(max_tap_norm > 0.0)) {
+    throw std::invalid_argument("EngineConfig: max_tap_norm must be positive");
+  }
+  if (!(reference_prior >= 0.0)) {
+    throw std::invalid_argument("EngineConfig: reference_prior must be non-negative");
+  }
+  if (train_iterations < 1 || train_iterations > 64) {
+    throw std::invalid_argument("EngineConfig: train_iterations must be in [1, 64]");
+  }
+}
+
+}  // namespace colorbars::eq

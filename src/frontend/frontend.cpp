@@ -64,6 +64,14 @@ FrontendRunStats run_frontend(SlotObservationSource& source,
     stats.observations += static_cast<long long>(block.size());
   }
   receiver.on_stream_end();
+  // Surface the decision-engine counters alongside the delivery counts
+  // (the final flush has refreshed them).
+  const rx::StreamingStats& rx_stats = receiver.stats();
+  stats.engine_decisions = rx_stats.engine_decisions;
+  stats.engine_fallback_decisions = rx_stats.engine_fallback_decisions;
+  stats.engine_retrains = rx_stats.engine_retrains;
+  stats.engine_train_fallbacks = rx_stats.engine_train_fallbacks;
+  stats.engine_tap_norm = rx_stats.engine_tap_norm;
   return stats;
 }
 

@@ -77,7 +77,11 @@ void PdSampler::render_block(int block_index, SampleBlock& out) const {
     // occlusion through signal_gain, ambient (with flicker) added on
     // top — the same integrand the camera's expose_row evaluates,
     // minus the frame raster.
-    const util::Vec3 incident = trace_.average(t0, t1) * channel_.signal_gain(t0, t1) +
+    // led_average routes the emission through the channel's delay-spread
+    // taps (identity when ISI is disabled), same as the camera's
+    // expose_row integrand.
+    const util::Vec3 incident = channel_.led_average(trace_, t0, t1) *
+                                    channel_.signal_gain(t0, t1) +
                                 channel_.ambient_xyz(t0, t1);
     double* sample = out.samples.data() + static_cast<std::size_t>(i) * channels;
     for (int c = 0; c < channels; ++c) {

@@ -4,8 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "colorbars/simd/simd.hpp"
-
 namespace colorbars::rx {
 
 using protocol::ChannelSymbol;
@@ -16,7 +14,8 @@ Receiver::Receiver(ReceiverConfig config)
       constellation_(config.format.order),
       packetizer_(config.format, constellation_),
       code_(config.rs_n, config.rs_k),
-      store_(constellation_.size(), config.classifier) {
+      store_(constellation_.size(), config.classifier),
+      engine_(eq::make_engine(config.engine)) {
   // The combined start-of-packet sequences: delimiter followed by flag.
   const auto with_flag = [](const std::vector<ChannelSymbol>& flag) {
     std::vector<ChannelSymbol> prefix = protocol::delimiter_sequence();
@@ -89,61 +88,40 @@ int Receiver::classify_data(const SlotObservation& observation) const {
 
 int Receiver::classify_data(const SlotObservation& observation,
                             double* margin_out) const {
-  int best_index = 0;
-  double best_distance = std::numeric_limits<double>::infinity();
-  double second_distance = std::numeric_limits<double>::infinity();
-  const int count = store_.symbol_count();
-  // Fast path for the production metric: gather the learned references
-  // into a stack SoA and fan the ΔE(ab) computation out through the
-  // dispatched kernel, then run the identical ascending best/second scan
-  // over the batched distances. Constellations are tiny (4/8/16
-  // symbols), so 64 covers every configuration; anything larger or any
-  // other metric takes the original per-reference path.
-  constexpr int kMaxBatch = 64;
-  if (store_.config().matching_space == MatchingSpace::kCielabAB && count <= kMaxBatch) {
-    double ref_a[kMaxBatch] = {};
-    double ref_b[kMaxBatch] = {};
-    double dist[kMaxBatch];
-    int symbol_of[kMaxBatch];
-    int learned = 0;
-    for (int i = 0; i < count; ++i) {
-      const auto reference = store_.reference_color(i);
-      if (!reference.has_value()) continue;
-      ref_a[learned] = reference->chroma.a;
-      ref_b[learned] = reference->chroma.b;
-      symbol_of[learned] = i;
-      ++learned;
+  // Single-cell window: no FIR context, so equalized engines take their
+  // nearest-reference fallback. The parse loops use the timeline
+  // overload below instead.
+  const std::optional<SlotObservation> cell(observation);
+  return engine_->decide(
+      store_, std::span<const std::optional<SlotObservation>>(&cell, 1), 0, margin_out);
+}
+
+int Receiver::classify_data(const SlotTimeline& timeline, std::size_t position,
+                            double* margin_out) const {
+  return engine_->decide(store_, timeline.slots, position, margin_out);
+}
+
+void Receiver::train_engine(const std::vector<std::optional<ReferenceColor>>& raw_colors,
+                            CalibrationVariant variant) {
+  const int count = constellation_.size();
+  std::vector<eq::CalibrationObservation> sequence(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    // Color slot j of the packet carries constellation index permute(j)
+    // — the same mapping permute_calibration_colors applies, expressed
+    // forward so the engine sees the transmitted temporal order.
+    int symbol = j;
+    if (variant == CalibrationVariant::kReversed) {
+      symbol = count - 1 - j;
+    } else if (variant == CalibrationVariant::kRotated) {
+      symbol = (count / 2 + j) % count;
     }
-    simd::delta_e_ab_many(ref_a, ref_b, learned, observation.chroma.a,
-                          observation.chroma.b, dist);
-    for (int j = 0; j < learned; ++j) {
-      const double d = dist[j];
-      if (d < best_distance) {
-        second_distance = best_distance;
-        best_distance = d;
-        best_index = symbol_of[j];
-      } else if (d < second_distance) {
-        second_distance = d;
-      }
-    }
-  } else {
-    for (int i = 0; i < count; ++i) {
-      const auto reference = store_.reference_color(i);
-      if (!reference.has_value()) continue;
-      const double d = store_.distance(observation, *reference);
-      if (d < best_distance) {
-        second_distance = best_distance;
-        best_distance = d;
-        best_index = i;
-      } else if (d < second_distance) {
-        second_distance = d;
-      }
+    sequence[static_cast<std::size_t>(j)].symbol = symbol;
+    if (raw_colors[static_cast<std::size_t>(j)].has_value()) {
+      sequence[static_cast<std::size_t>(j)].chroma =
+          raw_colors[static_cast<std::size_t>(j)]->chroma;
     }
   }
-  if (margin_out != nullptr) {
-    *margin_out = std::isfinite(second_distance) ? second_distance - best_distance : -1.0;
-  }
-  return best_index;
+  engine_->on_calibration(store_, sequence);
 }
 
 Receiver::SlotState Receiver::slot_state(const SlotTimeline& timeline,
@@ -282,11 +260,15 @@ std::size_t Receiver::prescan_calibration(const SlotTimeline& timeline, std::siz
   for (; position < limit && !store_.calibrated(); ++position) {
     const std::optional<CalibrationMatch> entry = match_calibration(timeline, position);
     if (!entry.has_value()) continue;
-    auto colors = read_calibration_colors(timeline, position + entry->prefix->size());
+    const auto raw = read_calibration_colors(timeline, position + entry->prefix->size());
+    auto colors = raw;
     permute_calibration_colors(colors, entry->variant);
     if (observed_color_count(colors) > 0) {
       absorb_pattern_white(timeline, position, *entry->prefix);
       store_.absorb_calibration_partial(colors);
+      // Train after absorption so the engine's reference prior sees the
+      // freshly blended store.
+      train_engine(raw, entry->variant);
     }
   }
   return position;
@@ -356,12 +338,14 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
       PacketRecord record;
       record.kind = protocol::PacketKind::kCalibration;
       record.start_slot = timeline.base_slot + static_cast<long long>(position);
-      auto colors = read_calibration_colors(timeline, colors_at);
+      const auto raw = read_calibration_colors(timeline, colors_at);
+      auto colors = raw;
       permute_calibration_colors(colors, calibration_entry->variant);
       const int observed = observed_color_count(colors);
       if (observed > 0) {
         absorb_pattern_white(timeline, position, *calibration_entry->prefix);
         store_.absorb_calibration_partial(colors);
+        train_engine(raw, calibration_entry->variant);
         record.ok = true;
         record.erased_slots = constellation_.size() - observed;
         ++report.calibration_packets;
@@ -408,7 +392,8 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
         header_ok = false;
         break;
       }
-      size_field.push_back(ChannelSymbol::data(classify_data(*cell)));
+      size_field.push_back(ChannelSymbol::data(
+          classify_data(timeline, size_at + static_cast<std::size_t>(i))));
     }
     const std::optional<int> payload_symbols =
         header_ok ? protocol::decode_size_field(size_field, config_.format.order)
@@ -460,7 +445,8 @@ std::size_t Receiver::parse_from(const SlotTimeline& timeline, std::size_t start
         ++record.erased_slots;
       } else {
         double margin = -1.0;
-        symbol_indices.push_back(classify_data(*cell, &margin));
+        symbol_indices.push_back(classify_data(
+            timeline, payload_at + static_cast<std::size_t>(slot), &margin));
         symbol_erased.push_back(false);
         if (margin >= 0.0) {
           report.decision_margin_sum += margin;

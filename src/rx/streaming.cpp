@@ -75,8 +75,23 @@ std::size_t StreamingReceiver::head_margin_slots() const noexcept {
   return static_cast<std::size_t>(holdback_slots()) + receiver_.max_decision_span_slots();
 }
 
+void StreamingReceiver::refresh_engine_stats() noexcept {
+  const eq::DecisionStats& decisions = receiver_.engine().stats();
+  const eq::EqualizerState& equalizer = receiver_.store().equalizer();
+  stats_.engine_decisions = engine_base_.decisions + decisions.decisions;
+  stats_.engine_fallback_decisions =
+      engine_base_.fallback_decisions + decisions.fallback_decisions;
+  stats_.engine_margin_sum = engine_base_.margin_sum + decisions.margin_sum;
+  stats_.engine_margin_count = engine_base_.margin_count + decisions.margin_count;
+  stats_.engine_retrains = engine_base_.retrains + equalizer.retrains;
+  stats_.engine_train_fallbacks =
+      engine_base_.train_fallbacks + equalizer.train_fallbacks;
+  stats_.engine_tap_norm = equalizer.tap_norm();
+}
+
 void StreamingReceiver::note_drain(double elapsed_s, long long scanned_before) noexcept {
   ++stats_.drains;
+  refresh_engine_stats();
   stats_.last_drain_slots_scanned = report_.slots_scanned - scanned_before;
   stats_.slots_scanned = report_.slots_scanned;
   stats_.window_slots = static_cast<long long>(window_.slots.size());
@@ -177,7 +192,20 @@ void StreamingReceiver::begin_epoch(ReceiverConfig config) {
   // Flush the old epoch with end-of-stream semantics: anything still
   // held back decodes against the old calibration before it is lost.
   (void)drain(/*final_flush=*/true);
+  // Fold the outgoing epoch's engine counters into the cumulative base
+  // before the receiver (and its live engine stats) is replaced.
+  {
+    const eq::DecisionStats& decisions = receiver_.engine().stats();
+    const eq::EqualizerState& equalizer = receiver_.store().equalizer();
+    engine_base_.decisions += decisions.decisions;
+    engine_base_.fallback_decisions += decisions.fallback_decisions;
+    engine_base_.margin_sum += decisions.margin_sum;
+    engine_base_.margin_count += decisions.margin_count;
+    engine_base_.retrains += equalizer.retrains;
+    engine_base_.train_fallbacks += equalizer.train_fallbacks;
+  }
   receiver_ = Receiver(std::move(config));
+  refresh_engine_stats();
   // The new epoch's slot grid restarts: a rung change re-times every
   // symbol, so old slot numbers are meaningless under the new rate.
   window_ = SlotTimeline{};

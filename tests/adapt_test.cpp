@@ -171,6 +171,63 @@ TEST(Adapt, DefaultLadderAscendsInRawBitrate) {
   EXPECT_EQ(rung_name(ladder.front()), "CSK8@1000Hz");
 }
 
+TEST(Adapt, EngineGatedLadderExtendsWithSupportedRungs) {
+  // The extension rungs are gated on what the decision engine can
+  // decode: every engine gets CSK32@4kHz above the paper's peak, but
+  // CSK64@4kHz appears only for the equalized engines — offering it to
+  // the plain scan would hand the controller a rung it can only fail on.
+  const std::vector<Rung> base = default_ladder();
+  const std::vector<Rung> nearest = default_ladder(eq::EngineKind::kNearestReference);
+  ASSERT_EQ(nearest.size(), base.size() + 1);
+  EXPECT_EQ(nearest.back(), (Rung{csk::CskOrder::kCsk32, 4000.0}));
+  for (const eq::EngineKind kind :
+       {eq::EngineKind::kLinearMmse, eq::EngineKind::kFrequencyDomain}) {
+    const std::vector<Rung> equalized = default_ladder(kind);
+    ASSERT_EQ(equalized.size(), base.size() + 2);
+    EXPECT_EQ(equalized[equalized.size() - 2], (Rung{csk::CskOrder::kCsk32, 4000.0}));
+    EXPECT_EQ(equalized.back(), (Rung{csk::CskOrder::kCsk64, 4000.0}));
+    EXPECT_NO_THROW(validate_ladder(equalized, 4500.0));
+  }
+}
+
+TEST(Adapt, DominatedRungIsNeverProbedTwiceInARow) {
+  // The equalized ladder tops out at CSK64@4kHz. Under a channel where
+  // that rung is dominated (higher order, but ISI collapses its
+  // goodput), every probe into it fails — and the AIMD backoff must
+  // keep the controller from bouncing straight back: after a failed
+  // probe the confirmation requirement doubles, so the dominated rung
+  // is never probed on two consecutive intervals.
+  ControllerConfig config;
+  config.up_confirm_intervals = 2;
+  const std::vector<Rung> ladder = default_ladder(eq::EngineKind::kLinearMmse);
+  const int top = static_cast<int>(ladder.size()) - 1;
+  ASSERT_EQ(ladder[top].order, csk::CskOrder::kCsk64);
+  RateController controller(ladder, config, top - 1);
+
+  LinkQuality good;
+  good.samples = 1;
+  good.packet_success = 1.0;
+  good.margin_valid = true;
+  good.margin = 10.0;
+  LinkQuality collapse;
+  collapse.samples = 1;
+  collapse.packet_success = 0.0;
+
+  // Climb into the dominated rung.
+  EXPECT_EQ(controller.decide(good), top - 1);  // streak 1 of 2
+  EXPECT_EQ(controller.decide(good), top);      // probe up
+  // The probe collapses; the requirement doubles.
+  EXPECT_LT(controller.decide(collapse), top);
+  EXPECT_EQ(controller.required_streak(), 2 * config.up_confirm_intervals);
+  // Never twice in a row: the immediately following good interval must
+  // not land back on the dominated rung, nor any interval until the
+  // doubled streak has been re-earned below it.
+  for (int i = 0; i < controller.required_streak(); ++i) {
+    EXPECT_LT(controller.decide(good), top)
+        << "re-probed the dominated rung after only " << i << " good intervals";
+  }
+}
+
 TEST(Adapt, ControllerRejectsBadConstruction) {
   EXPECT_THROW(RateController(default_ladder(), {}, -1), std::invalid_argument);
   EXPECT_THROW(RateController(default_ladder(), {}, 99), std::invalid_argument);

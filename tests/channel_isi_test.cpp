@@ -1,0 +1,153 @@
+// The delay-spread (ISI) channel stage: a causal exponential-decay tap
+// filter convolved into the camera's per-row exposure integral. The
+// invariants under test: a disabled stage is the exact identity (not
+// merely close), spec validation rejects out-of-range taps, the tap
+// weights conserve mean radiance, and an ISI-enabled end-to-end decode
+// is byte-identical at every thread count on both frontends.
+
+#include "colorbars/channel/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "colorbars/core/link.hpp"
+#include "colorbars/led/emission.hpp"
+#include "colorbars/runtime/thread_pool.hpp"
+
+namespace colorbars {
+namespace {
+
+led::EmissionTrace make_trace() {
+  led::EmissionTrace trace;
+  trace.append(0.0005, {1.0, 0.2, 0.1});
+  trace.append(0.0005, {0.0, 0.9, 0.3});
+  trace.append(0.0005, {0.5, 0.5, 0.5});
+  trace.append(0.0005, {0.1, 0.0, 1.0});
+  return trace;
+}
+
+TEST(Isi, DisabledStageIsExactIdentity) {
+  channel::ChannelSpec spec;
+  ASSERT_FALSE(spec.isi.enabled());
+  const channel::OpticalChannel channel(spec);
+  EXPECT_FALSE(channel.has_isi());
+  const led::EmissionTrace trace = make_trace();
+  for (double t0 : {0.0, 0.00017, 0.0011, 0.0019}) {
+    const double t1 = t0 + 0.00033;
+    const util::Vec3 direct = trace.average(t0, t1);
+    const util::Vec3 through = channel.led_average(trace, t0, t1);
+    // Bit-identical, not approximately equal: the identity channel must
+    // leave every golden capture hash unchanged.
+    EXPECT_EQ(direct.x, through.x);
+    EXPECT_EQ(direct.y, through.y);
+    EXPECT_EQ(direct.z, through.z);
+  }
+}
+
+TEST(Isi, SpecValidationRejectsOutOfRangeParameters) {
+  const auto rejects = [](auto mutate) {
+    channel::ChannelSpec spec;
+    mutate(spec.isi);
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  };
+  rejects([](channel::IsiSpec& isi) { isi.delay_spread_s = -0.001; });
+  rejects([](channel::IsiSpec& isi) {
+    isi.delay_spread_s = std::numeric_limits<double>::quiet_NaN();
+  });
+  rejects([](channel::IsiSpec& isi) {
+    isi.delay_spread_s = 0.001;
+    isi.taps = 1;  // one tap is the identity — must be >= 2 when enabled
+  });
+  rejects([](channel::IsiSpec& isi) {
+    isi.delay_spread_s = 0.001;
+    isi.taps = 65;
+  });
+  rejects([](channel::IsiSpec& isi) {
+    isi.delay_spread_s = 0.001;
+    isi.tap_spacing_s = std::numeric_limits<double>::infinity();
+  });
+  // A disabled stage ignores the tap count (the validate gate is
+  // conditional on enabled()).
+  channel::ChannelSpec disabled;
+  disabled.isi.taps = 1;
+  EXPECT_NO_THROW(disabled.validate());
+  // A well-formed enabled stage validates.
+  channel::ChannelSpec enabled;
+  enabled.isi.delay_spread_s = 0.00022;
+  enabled.isi.tap_spacing_s = 0.0005;
+  enabled.isi.taps = 2;
+  EXPECT_NO_THROW(enabled.validate());
+}
+
+TEST(Isi, TapWeightsConserveMeanRadiance) {
+  // The weights are normalized to sum to one, so a steady emission far
+  // from the trace edges passes through unchanged — auto-exposure and
+  // AGC meter the same scene with or without delay spread.
+  channel::ChannelSpec spec;
+  spec.isi.delay_spread_s = 0.0004;
+  spec.isi.taps = 8;
+  const channel::OpticalChannel channel(spec);
+  ASSERT_TRUE(channel.has_isi());
+  led::EmissionTrace steady;
+  steady.append(0.1, {0.6, 0.4, 0.8});
+  const util::Vec3 through = channel.led_average(steady, 0.05, 0.0505);
+  EXPECT_NEAR(through.x, 0.6, 1e-12);
+  EXPECT_NEAR(through.y, 0.4, 1e-12);
+  EXPECT_NEAR(through.z, 0.8, 1e-12);
+}
+
+TEST(Isi, DelayedTapsMixEarlierEmission) {
+  // With one echo tap exactly one segment behind, a window inside the
+  // second segment must blend in the first segment's radiance.
+  channel::ChannelSpec spec;
+  spec.isi.delay_spread_s = 0.00022;
+  spec.isi.tap_spacing_s = 0.0005;
+  spec.isi.taps = 2;
+  const channel::OpticalChannel channel(spec);
+  led::EmissionTrace trace;
+  trace.append(0.0005, {1.0, 0.0, 0.0});
+  trace.append(0.0005, {0.0, 1.0, 0.0});
+  const util::Vec3 mixed = channel.led_average(trace, 0.0006, 0.0009);
+  const util::Vec3 direct = trace.average(0.0006, 0.0009);
+  EXPECT_EQ(direct.x, 0.0);  // the window sees only the green segment...
+  EXPECT_GT(mixed.x, 0.05);  // ...until the echo folds the red one in
+  EXPECT_LT(mixed.y, direct.y);
+}
+
+TEST(Isi, EndToEndDecodeIsThreadCountInvariantOnBothFrontends) {
+  // The stage is a pure function of time (no RNG), so an ISI-enabled
+  // link must decode byte-identically at every thread count — the same
+  // determinism contract every other channel stage carries.
+  for (const frontend::FrontendKind kind :
+       {frontend::FrontendKind::kCamera, frontend::FrontendKind::kPhotodiode}) {
+    core::LinkConfig config;
+    config.order = csk::CskOrder::kCsk16;
+    config.symbol_rate_hz = 2000.0;
+    config.profile = camera::ideal_profile();
+    config.frontend = kind;
+    config.channel.isi.delay_spread_s = 0.00022;
+    config.channel.isi.tap_spacing_s = 1.0 / config.symbol_rate_hz;
+    config.channel.isi.taps = 2;
+
+    runtime::ThreadPool::set_shared_thread_count(1);
+    core::LinkSimulator reference_link(config);
+    const core::SerResult reference = reference_link.run_ser(900);
+    for (unsigned threads : {2u, 8u}) {
+      runtime::ThreadPool::set_shared_thread_count(threads);
+      core::LinkSimulator link(config);
+      const core::SerResult result = link.run_ser(900);
+      EXPECT_EQ(result.symbol_errors, reference.symbol_errors)
+          << "frontend " << static_cast<int>(kind) << " diverged at " << threads
+          << " threads";
+      EXPECT_EQ(result.symbols_observed, reference.symbols_observed);
+      EXPECT_EQ(result.symbols_sent, reference.symbols_sent);
+    }
+    runtime::ThreadPool::set_shared_thread_count(0);
+  }
+}
+
+}  // namespace
+}  // namespace colorbars

@@ -159,7 +159,14 @@ TEST(Receiver, WorksAcrossAllOrders) {
     // to one frame period) cannot discard every packet.
     const auto payload = fixture.random_payload(120);
     const auto frames = fixture.send(payload);
-    Receiver receiver(fixture.rx_config);
+    // CSK64's packing is below the plain scan's noise floor by design —
+    // it is exactly the order the equalized engine exists for, so the
+    // top order decodes through it (eq::max_supported_order).
+    rx::ReceiverConfig config = fixture.rx_config;
+    if (order == csk::CskOrder::kCsk64) {
+      config.engine.kind = eq::EngineKind::kLinearMmse;
+    }
+    Receiver receiver(config);
     const ReceiverReport report = receiver.process(frames);
     EXPECT_GT(report.data_packets_ok, 0) << "order " << static_cast<int>(order);
   }

@@ -35,8 +35,11 @@ TEST(UmbrellaHeader, ExposesTheWholePublicSurface) {
   EXPECT_EQ(fsk.bits_per_symbol(), 3);
   EXPECT_EQ(pd::default_pd_array().size(), 3u);
   EXPECT_NO_THROW(pd::PdConfig{}.validate());
+  EXPECT_STREQ(eq::engine_name(eq::EngineKind::kLinearMmse), "mmse");
+  EXPECT_NE(eq::make_engine(eq::EngineConfig{}), nullptr);
   core::LinkConfig link;
   EXPECT_EQ(link.frontend, frontend::FrontendKind::kCamera);
+  EXPECT_EQ(link.engine.kind, eq::EngineKind::kNearestReference);
   EXPECT_EQ(link.transmitter_config().format.order, link.order);
   const adapt::LinkQuality quality;
   EXPECT_FALSE(quality.header_loss_valid);

@@ -8,9 +8,11 @@
 #      const reads of EmissionTrace prefix sums during frame synthesis,
 #      BufferPool acquire/release from prefetch refills, concurrent
 #      const OpticalChannel queries from parallel row integrals, the
-#      scene path's per-ROI decode fan-out over the shared pool, and the
+#      scene path's per-ROI decode fan-out over the shared pool, the
 #      simd layer's shared-LUT reads plus capture-arena reuse inside
-#      parallel_for capture/reduction regions).
+#      parallel_for capture/reduction regions, the ISI-convolved
+#      exposure integrals inside parallel row loops, and the decision
+#      engines' shared-state reads on every decode path).
 #
 # The two instrumentations are mutually exclusive, so each gets its own
 # build tree under build-asan/ and build-tsan/. Usage:
@@ -25,8 +27,8 @@ jobs="${1:-$(nproc)}"
 # TSan must cover the concurrency surface: if a rename/move ever drops
 # one of these suites from the binary, fail the run instead of silently
 # shrinking coverage.
-tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt Scene SceneTracker Simd Frontend Pd)
-tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*:Scene.*:SceneTracker.*:Simd.*:Frontend.*:Pd.*'
+tsan_required_suites=(ThreadPool Determinism BatchTrials BufferPool Pipeline Channel ChannelStages Adapt Scene SceneTracker Simd Frontend Pd Eq Isi)
+tsan_filter='ThreadPool.*:Determinism.*:DeriveStreamSeed.*:BatchTrials.*:BufferPool.*:Pipeline.*:Channel.*:ChannelStages.*:Adapt.*:Scene.*:SceneTracker.*:Simd.*:Frontend.*:Pd.*:Eq.*:Isi.*'
 
 build_suite() {
   local build_dir="$1" cmake_flag="$2"
