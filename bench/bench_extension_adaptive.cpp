@@ -17,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "colorbars/adapt/simulator.hpp"
+#include "colorbars/svc/service.hpp"
 
 using namespace colorbars;
 
@@ -70,17 +71,19 @@ struct PolicyOutcome {
   std::vector<double> phase_time_s;
 };
 
-PolicyOutcome run_policy(const std::string& name, bool adaptive, int initial_rung,
-                         const adapt::Trajectory& trajectory) {
+adapt::AdaptiveLinkConfig policy_config(bool adaptive, int initial_rung) {
   adapt::AdaptiveLinkConfig config;
   config.adaptation_enabled = adaptive;
   config.initial_rung = initial_rung;
   config.feedback.delay_intervals = 1;
-  adapt::AdaptiveLinkSimulator simulator(config, trajectory);
+  return config;
+}
 
+PolicyOutcome policy_outcome(const std::string& name,
+                             adapt::AdaptiveRunResult result) {
   PolicyOutcome outcome;
   outcome.name = name;
-  outcome.result = simulator.run();
+  outcome.result = std::move(result);
   outcome.phase_bytes.assign(phases().size(), 0);
   outcome.phase_time_s.assign(phases().size(), 0.0);
   for (const adapt::IntervalRecord& record : outcome.result.intervals) {
@@ -106,6 +109,8 @@ double phase_goodput(const PolicyOutcome& outcome, std::size_t p) {
 }  // namespace
 
 int main() {
+  svc::maybe_run_worker();  // this binary is its own grid worker
+
   bench::print_header(
       "Extension: adaptive rate control vs fixed rungs (range+occlusion walk)");
   bench::JsonReport report("extension_adaptive");
@@ -118,11 +123,36 @@ int main() {
   }
   std::printf("\n\n");
 
-  std::vector<PolicyOutcome> outcomes;
-  outcomes.push_back(run_policy("adaptive", true, -1, trajectory));
+  // One job per policy: the adaptive walk plus every frozen rung. With
+  // COLORBARS_GRID_WORKERS set the batch runs across worker processes
+  // (byte-identical to the in-process runs); otherwise each simulator
+  // runs here in order.
+  std::vector<std::string> names;
+  std::vector<svc::AdaptiveJob> jobs;
+  names.push_back("adaptive");
+  jobs.push_back({policy_config(true, -1), trajectory});
   for (std::size_t rung = 0; rung < defaults.ladder.size(); ++rung) {
-    outcomes.push_back(run_policy("fixed " + adapt::rung_name(defaults.ladder[rung]),
-                                  false, static_cast<int>(rung), trajectory));
+    names.push_back("fixed " + adapt::rung_name(defaults.ladder[rung]));
+    jobs.push_back({policy_config(false, static_cast<int>(rung)), trajectory});
+  }
+
+  const std::optional<int> grid_workers = svc::grid_workers_from_env();
+  svc::SvcStats grid_stats;
+  std::vector<adapt::AdaptiveRunResult> results;
+  if (grid_workers) {
+    svc::ServiceConfig service;
+    service.workers = *grid_workers;
+    results = svc::run_adaptive_batch(jobs, service, &grid_stats);
+  } else {
+    for (const svc::AdaptiveJob& job : jobs) {
+      adapt::AdaptiveLinkSimulator simulator(job.config, job.trajectory);
+      results.push_back(simulator.run());
+    }
+  }
+
+  std::vector<PolicyOutcome> outcomes;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    outcomes.push_back(policy_outcome(names[i], std::move(results[i])));
   }
 
   std::printf("%-20s %10s %10s %8s", "policy", "bytes", "goodput", "shifts");
@@ -206,6 +236,15 @@ int main() {
       .metric("total_ok", total_ok ? 1 : 0)
       .metric("winning_phase", winning_phase)
       .metric("pass", pass ? 1 : 0);
+  if (grid_workers) {
+    report.add_row()
+        .label("policy", "scheduler")
+        .metric("grid_workers", grid_stats.workers)
+        .metric("jobs", static_cast<double>(grid_stats.jobs_total))
+        .metric("retries", static_cast<double>(grid_stats.retries))
+        .metric("respawns", static_cast<double>(grid_stats.respawns))
+        .metric("wall_time_s", grid_stats.wall_time_s);
+  }
   report.write();
   return pass ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 // regenerates one table or figure of the paper and prints it in a plain
 // text layout comparable to the published one.
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -99,9 +101,18 @@ class JsonReport {
 
   void write() {
     written_ = true;
-    std::FILE* file = std::fopen(path().c_str(), "w");
+    // Write-then-rename so the report appears atomically: with the
+    // trial service several processes share COLORBARS_BENCH_DIR, and a
+    // reader (or a crashed sibling's leftover) must never see a
+    // half-written file. The temp name carries the pid so concurrent
+    // writers of the same bench cannot collide; rename() within one
+    // directory is atomic on POSIX.
+    const std::string final_path = path();
+    const std::string temp_path =
+        final_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE* file = std::fopen(temp_path.c_str(), "w");
     if (file == nullptr) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+      std::fprintf(stderr, "bench: cannot write %s\n", temp_path.c_str());
       return;
     }
     std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
@@ -118,7 +129,13 @@ class JsonReport {
     }
     std::fputs("  ]\n}\n", file);
     std::fclose(file);
-    std::printf("\n[wrote %s]\n", path().c_str());
+    if (std::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+      std::fprintf(stderr, "bench: cannot rename %s -> %s\n", temp_path.c_str(),
+                   final_path.c_str());
+      std::remove(temp_path.c_str());
+      return;
+    }
+    std::printf("\n[wrote %s]\n", final_path.c_str());
   }
 
  private:

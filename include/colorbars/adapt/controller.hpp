@@ -75,6 +75,16 @@ struct ControllerConfig {
   /// Intervals a probe must survive at the higher rung to count as
   /// successful (halving the confirmation requirement back down).
   int probe_settle_intervals = 3;
+  /// The transmitter's re-calibration outage, expressed in control
+  /// intervals (see AdaptiveLinkConfig::recalibration_cost_s). 0 means
+  /// switching is free and an ordinary downshift fires on the first
+  /// sub-threshold interval (the original policy). When positive, the
+  /// degradation must persist for more than this many intervals before
+  /// the controller pays for a downshift — a one-interval dip is cheaper
+  /// to ride out than a recalibration it would not amortize. Collapse
+  /// (success below collapse_success) always switches immediately: a
+  /// dead link loses more per interval than any recalibration costs.
+  double switch_cost_intervals = 0.0;
 };
 
 /// The rx-side rate-adaptation policy. decide() maps the monitor's
@@ -112,11 +122,17 @@ class RateController {
  private:
   void downshift(int rungs);
 
+  /// Consecutive sub-threshold intervals an ordinary downshift needs
+  /// before it fires (1 when switching is free).
+  [[nodiscard]] int required_down_streak() const noexcept;
+
   std::vector<Rung> ladder_;
   ControllerConfig config_;
   int desired_ = 0;
   int streak_ = 0;
   int required_streak_ = 0;
+  /// Consecutive intervals below down_success (persistence gate state).
+  int down_streak_ = 0;
   /// Up-probe in flight: intervals survived at the probed rung.
   bool probing_ = false;
   int probe_age_ = 0;

@@ -74,6 +74,15 @@ struct AdaptiveLinkConfig {
   /// Nominal seconds of payload air time per control interval (the
   /// actual interval also carries warmup/calibration/tail overhead).
   double control_interval_s = 0.4;
+  /// Transmitter re-calibration outage charged once per rung switch:
+  /// dead air while the tx re-runs its white warmup / calibration
+  /// sequence for the new (order, rate) before payload resumes. Elapsed
+  /// time advances with no bytes transmitted, so every switch directly
+  /// taxes goodput. The controller weighs the same cost via
+  /// ControllerConfig::switch_cost_intervals — set that to
+  /// recalibration_cost_s / control_interval_s so the policy only pays
+  /// for downshifts the degradation amortizes. 0 keeps switching free.
+  double recalibration_cost_s = 0.0;
   camera::SensorProfile profile = camera::nexus5_profile();
   double illumination_ratio = 0.8;
   double calibration_rate_hz = 5.0;

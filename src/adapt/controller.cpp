@@ -1,6 +1,7 @@
 #include "colorbars/adapt/controller.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -88,7 +89,20 @@ RateController::RateController(std::vector<Rung> ladder, ControllerConfig config
       config_.max_up_confirm_intervals < config_.up_confirm_intervals) {
     throw std::invalid_argument("RateController: bad confirmation interval bounds");
   }
+  if (!(config_.switch_cost_intervals >= 0.0) ||
+      !std::isfinite(config_.switch_cost_intervals)) {
+    throw std::invalid_argument(
+        "RateController: switch_cost_intervals must be finite and non-negative");
+  }
   required_streak_ = config_.up_confirm_intervals;
+}
+
+int RateController::required_down_streak() const noexcept {
+  // A downshift must outlast the recalibration it triggers: with a cost
+  // of c intervals, only degradation persisting *past* c intervals is
+  // worth paying for. Free switching (c == 0) keeps the original
+  // downshift-on-first-bad-interval policy.
+  return 1 + static_cast<int>(std::ceil(config_.switch_cost_intervals - 1e-12));
 }
 
 void RateController::downshift(int rungs) {
@@ -120,13 +134,21 @@ int RateController::decide(const LinkQuality& quality) {
   }
 
   if (quality.packet_success < config_.collapse_success) {
+    // Margin collapse bypasses the switch-cost gate: every interval on a
+    // dead link forfeits more than the recalibration outage costs.
+    down_streak_ = 0;
     downshift(2);
     return desired_;
   }
   if (quality.packet_success < config_.down_success) {
-    downshift(1);
+    ++down_streak_;
+    if (down_streak_ >= required_down_streak()) {
+      down_streak_ = 0;
+      downshift(1);
+    }
     return desired_;
   }
+  down_streak_ = 0;
 
   const bool margin_ok = config_.min_margin <= 0.0 ||
                          (quality.margin_valid && quality.margin >= config_.min_margin);
@@ -153,6 +175,7 @@ void RateController::on_applied(int rung) {
   // command left the tx somewhere else the re-send loop keeps pushing
   // toward desired_ until the two agree.
   streak_ = 0;
+  down_streak_ = 0;
 }
 
 }  // namespace colorbars::adapt

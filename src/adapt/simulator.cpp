@@ -119,6 +119,11 @@ AdaptiveLinkSimulator::AdaptiveLinkSimulator(AdaptiveLinkConfig config,
   if (!(config_.control_interval_s > 0.0)) {
     throw std::invalid_argument("AdaptiveLinkSimulator: control interval must be > 0");
   }
+  if (!(config_.recalibration_cost_s >= 0.0) ||
+      !std::isfinite(config_.recalibration_cost_s)) {
+    throw std::invalid_argument(
+        "AdaptiveLinkSimulator: recalibration cost must be finite and non-negative");
+  }
   if (trajectory_.segments.empty()) {
     throw std::invalid_argument("AdaptiveLinkSimulator: trajectory must not be empty");
   }
@@ -218,6 +223,9 @@ AdaptiveRunResult AdaptiveLinkSimulator::run() {
     if (arrived != applied) {
       if (arrived > applied) ++result.upshifts; else ++result.downshifts;
       applied = arrived;
+      // The switch costs real air time: the tx re-runs its calibration
+      // sequence for the new rung while no payload flows.
+      elapsed += config_.recalibration_cost_s;
       receiver.begin_epoch(
           config_.link_at(ladder[static_cast<std::size_t>(applied)], spec)
               .receiver_config());

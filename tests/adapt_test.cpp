@@ -320,6 +320,111 @@ TEST(Adapt, OnAppliedKeepsDesiredWhenUplinkLags) {
   EXPECT_EQ(controller.desired_rung(), 1);
 }
 
+TEST(Adapt, SwitchCostGatesOrdinaryDownshiftsButNotCollapse) {
+  LinkQuality bad;  // degraded but alive: between collapse and down thresholds
+  bad.samples = 1;
+  bad.packet_success = 0.6;
+  LinkQuality middling = bad;  // healthy, but below the upshift bar
+  middling.packet_success = 0.9;
+  LinkQuality collapse = bad;
+  collapse.packet_success = 0.0;
+
+  // Free switching: the original policy, downshift on the first bad
+  // interval.
+  RateController free_switch(default_ladder(), {}, 3);
+  EXPECT_EQ(free_switch.decide(bad), 2);
+
+  // A 1.5-interval recalibration cost: only degradation persisting past
+  // the cost is worth paying for, so the downshift needs 3 consecutive
+  // sub-threshold intervals (1 + ceil(1.5)).
+  ControllerConfig costly_config;
+  costly_config.switch_cost_intervals = 1.5;
+  RateController costly(default_ladder(), costly_config, 3);
+  EXPECT_EQ(costly.decide(bad), 3);  // streak 1 of 3 — ride it out
+  EXPECT_EQ(costly.decide(bad), 3);  // streak 2 of 3
+  EXPECT_EQ(costly.decide(bad), 2);  // persistent: pay for the switch
+
+  // Recovery resets the persistence gate: a dip that clears must not
+  // leave a primed streak behind.
+  RateController recovered(default_ladder(), costly_config, 3);
+  EXPECT_EQ(recovered.decide(bad), 3);
+  EXPECT_EQ(recovered.decide(bad), 3);
+  EXPECT_EQ(recovered.decide(middling), 3);  // dip over — streak cleared
+  EXPECT_EQ(recovered.decide(bad), 3);       // streak restarts at 1
+  EXPECT_EQ(recovered.decide(bad), 3);
+  EXPECT_EQ(recovered.decide(bad), 2);
+
+  // Collapse bypasses the gate: a dead link loses more per interval
+  // than any recalibration costs.
+  RateController collapsed(default_ladder(), costly_config, 3);
+  EXPECT_EQ(collapsed.decide(collapse), 1);
+
+  ControllerConfig invalid;
+  invalid.switch_cost_intervals = -0.5;
+  EXPECT_THROW(RateController(default_ladder(), invalid, 0), std::invalid_argument);
+}
+
+TEST(Adapt, RecalibrationCostChargesDeadAirPerSwitch) {
+  // One steady far leg from the top rung: the closed loop downshifts,
+  // and because the channel is a single segment and every stochastic
+  // stream derives from the interval counter, the free and costly runs
+  // make identical per-interval decisions — the only difference is the
+  // dead air charged at each switch. The costly run's post-switch
+  // intervals start exactly recalibration_cost_s later, and fewer
+  // intervals (so fewer payload bytes) fit into the trajectory.
+  Trajectory trajectory;
+  TrajectorySegment leg;
+  leg.name = "far";
+  leg.duration_s = 1.6;
+  leg.channel.distance.distance_m = 0.13;
+  leg.channel.distance.reference_distance_m = 0.08;
+  trajectory.segments = {leg};
+
+  AdaptiveLinkConfig config;
+  config.profile = camera::ideal_profile();
+  config.feedback.delay_intervals = 0;
+  AdaptiveLinkSimulator free_sim(config, trajectory);
+  const AdaptiveRunResult free_run = free_sim.run();
+
+  config.recalibration_cost_s = 0.5;
+  AdaptiveLinkSimulator costly_sim(config, trajectory);
+  const AdaptiveRunResult costly_run = costly_sim.run();
+
+  ASSERT_GT(free_run.downshifts, 0);
+  ASSERT_GT(costly_run.downshifts, 0);
+  EXPECT_LE(costly_run.intervals.size(), free_run.intervals.size());
+  EXPECT_LE(costly_run.payload_bytes, free_run.payload_bytes);
+
+  // First interval of the second epoch: shifted by exactly the charge.
+  std::size_t switch_index = 0;
+  while (switch_index < costly_run.intervals.size() &&
+         costly_run.intervals[switch_index].epoch ==
+             costly_run.intervals[0].epoch) {
+    ++switch_index;
+  }
+  ASSERT_LT(switch_index, costly_run.intervals.size());
+  ASSERT_LT(switch_index, free_run.intervals.size());
+  EXPECT_EQ(free_run.intervals[switch_index].epoch,
+            costly_run.intervals[switch_index].epoch);
+  EXPECT_NEAR(costly_run.intervals[switch_index].start_time_s -
+                  free_run.intervals[switch_index].start_time_s,
+              config.recalibration_cost_s, 1e-9);
+  // Identical decisions up to the switch.
+  for (std::size_t i = 0; i < switch_index; ++i) {
+    EXPECT_EQ(costly_run.intervals[i].rung, free_run.intervals[i].rung);
+    EXPECT_EQ(costly_run.intervals[i].start_time_s,
+              free_run.intervals[i].start_time_s);
+  }
+
+  EXPECT_THROW(
+      {
+        AdaptiveLinkConfig broken;
+        broken.recalibration_cost_s = -1.0;
+        AdaptiveLinkSimulator bad_sim(broken, trajectory);
+      },
+      std::invalid_argument);
+}
+
 // ---------------------------------------------------------------- feedback
 
 TEST(Adapt, FeedbackRejectsBadConfig) {

@@ -1,0 +1,15 @@
+// Custom test main (replaces GTest::gtest_main): the trial-service
+// tests spawn worker processes by re-executing /proc/self/exe — i.e.
+// this very test binary — so worker-mode bootstrap must run before
+// gtest does. With the worker socket env set, maybe_run_worker() serves
+// jobs and _exits; otherwise it is a no-op and the tests run normally.
+
+#include <gtest/gtest.h>
+
+#include "colorbars/svc/service.hpp"
+
+int main(int argc, char** argv) {
+  colorbars::svc::maybe_run_worker();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,238 @@
+// Scheduler tests for the trial service (colorbars::svc): sharded
+// sweeps must be byte-identical to the sequential reference at every
+// worker count, including schedules where a worker crashes mid-job
+// (kill, respawn, requeue, retry) or wedges past its deadline. The
+// crash/hang injections are env-triggered in run_job_trials and fire
+// only in generation-0 workers, so a retried job always completes.
+//
+// These tests spawn real worker processes by re-executing this test
+// binary (tests/main.cpp calls maybe_run_worker() before gtest runs).
+// The Svc suite is TSan-required; SvcTimeout is kept out of the TSan
+// filter because its deadlines are wall-clock and TSan slows the
+// workers by an order of magnitude.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "colorbars/adapt/simulator.hpp"
+#include "colorbars/camera/profile.hpp"
+#include "colorbars/svc/json.hpp"
+#include "colorbars/svc/service.hpp"
+#include "colorbars/svc/sweep.hpp"
+#include "colorbars/svc/wire.hpp"
+
+namespace colorbars::svc {
+namespace {
+
+/// Sets an environment variable for the scope (restores the previous
+/// value on destruction). Worker processes inherit the server's
+/// environment, so this is how the fault injections reach them.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = ::getenv(name)) {
+      had_previous_ = true;
+      previous_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_previous_) {
+      ::setenv(name_.c_str(), previous_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+/// A small two-point SER grid: 6 jobs at grain 1, cheap enough to run
+/// several times per test yet wide enough that jobs interleave across
+/// workers in a schedule-dependent order.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.trials_per_job = 1;
+  SweepPoint a;
+  a.config.order = csk::CskOrder::kCsk8;
+  a.config.symbol_rate_hz = 1000.0;
+  a.config.seed = 0x51d0a;
+  a.kind = TrialKind::kSer;
+  a.trials = 3;
+  a.symbols_per_trial = 96;
+  SweepPoint b = a;
+  b.config.order = csk::CskOrder::kCsk16;
+  b.config.symbol_rate_hz = 2000.0;
+  b.config.seed = 0x51d0b;
+  spec.points = {a, b};
+  return spec;
+}
+
+/// Serializes every trial row and the aggregate stats through the exact
+/// numeric tokens of the wire layer — equal fingerprints mean equal
+/// bytes, not merely equal-within-epsilon.
+std::string fingerprint(const SweepSpec& spec,
+                        const std::vector<PointResult>& results) {
+  std::string out;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    JobResultMessage message;
+    message.trials_kind = spec.points[i].kind;
+    message.trials = results[i].trials;
+    out += encode_job_result(message);
+    out += '|';
+    out += Json::number(results[i].primary.mean).dump();
+    out += ',';
+    out += Json::number(results[i].primary.stddev).dump();
+    out += ',';
+    out += std::to_string(results[i].primary.trials);
+    out += ',';
+    out += Json::number(results[i].loss_ratio.mean).dump();
+    out += ',';
+    out += Json::number(results[i].loss_ratio.stddev).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Svc, GridWorkersFromEnvParses) {
+  {
+    ScopedEnv env("COLORBARS_GRID_WORKERS", "3");
+    ASSERT_TRUE(grid_workers_from_env().has_value());
+    EXPECT_EQ(*grid_workers_from_env(), 3);
+  }
+  {
+    ScopedEnv env("COLORBARS_GRID_WORKERS", "0");
+    EXPECT_FALSE(grid_workers_from_env().has_value());
+  }
+  {
+    ScopedEnv env("COLORBARS_GRID_WORKERS", "banana");
+    EXPECT_FALSE(grid_workers_from_env().has_value());
+  }
+  ::unsetenv("COLORBARS_GRID_WORKERS");
+  EXPECT_FALSE(grid_workers_from_env().has_value());
+}
+
+TEST(Svc, ShardedSweepIsByteIdenticalAtEveryWorkerCount) {
+  const SweepSpec spec = small_spec();
+  const std::string reference = fingerprint(spec, run_sweep_sequential(spec));
+  for (const int workers : {1, 2, 4}) {
+    ServiceConfig config;
+    config.workers = workers;
+    SvcStats stats;
+    const std::vector<PointResult> results = run_sweep(spec, config, &stats);
+    EXPECT_EQ(fingerprint(spec, results), reference)
+        << workers << " workers diverged from the sequential reference";
+    EXPECT_EQ(stats.workers, workers);
+    EXPECT_EQ(stats.jobs_total, 6);
+    EXPECT_EQ(stats.jobs_completed, 6);
+    EXPECT_EQ(stats.retries, 0);
+    EXPECT_EQ(stats.respawns, 0);
+    EXPECT_FALSE(stats.drained);
+    EXPECT_GT(stats.wall_time_s, 0.0);
+    EXPECT_GT(stats.bytes_sent, 0);
+    EXPECT_GT(stats.bytes_received, 0);
+    ASSERT_EQ(stats.per_worker.size(), static_cast<std::size_t>(workers));
+    long long completed = 0;
+    for (const WorkerStats& worker : stats.per_worker) {
+      completed += worker.jobs_completed;
+    }
+    EXPECT_EQ(completed, 6);
+  }
+}
+
+TEST(Svc, CrashedWorkerIsRespawnedAndResultsStayByteIdentical) {
+  const SweepSpec spec = small_spec();
+  const std::string reference = fingerprint(spec, run_sweep_sequential(spec));
+  // Generation-0 workers abort when dispatched job 0. Both initial
+  // workers are generation 0, so the job can die at most twice before a
+  // respawned (generation >= 1) worker completes it — within the
+  // default retry budget.
+  ScopedEnv crash("COLORBARS_SVC_CRASH_JOB", "0");
+  ServiceConfig config;
+  config.workers = 2;
+  config.respawn_backoff_s = 0.02;
+  SvcStats stats;
+  const std::vector<PointResult> results = run_sweep(spec, config, &stats);
+  EXPECT_EQ(fingerprint(spec, results), reference)
+      << "crash-and-retry schedule diverged from the sequential reference";
+  EXPECT_GE(stats.retries, 1);
+  EXPECT_GE(stats.respawns, 1);
+  EXPECT_EQ(stats.jobs_completed, 6);
+}
+
+TEST(Svc, AdaptiveBatchMatchesInProcessSimulation) {
+  // One short healthy leg: cheap, yet the full closed loop (streaming
+  // receiver, monitor, controller, feedback) runs end to end in the
+  // worker process.
+  adapt::Trajectory trajectory;
+  adapt::TrajectorySegment leg;
+  leg.name = "near";
+  leg.duration_s = 1.0;
+  leg.channel.distance.distance_m = 0.08;
+  leg.channel.distance.reference_distance_m = 0.08;
+  trajectory.segments = {leg};
+
+  std::vector<AdaptiveJob> jobs(2);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].config.profile = camera::ideal_profile();
+    jobs[i].config.feedback.delay_intervals = 0;
+    jobs[i].config.recalibration_cost_s = 0.05;
+    jobs[i].config.controller.switch_cost_intervals = 0.125;
+    jobs[i].config.seed = 0xada0 + i;
+    jobs[i].trajectory = trajectory;
+  }
+
+  std::vector<std::string> expected;
+  for (const AdaptiveJob& job : jobs) {
+    adapt::AdaptiveLinkSimulator simulator(job.config, job.trajectory);
+    expected.push_back(adaptive_result_to_json(simulator.run()).dump());
+  }
+
+  ServiceConfig config;
+  config.workers = 2;
+  SvcStats stats;
+  const std::vector<adapt::AdaptiveRunResult> results =
+      run_adaptive_batch(jobs, config, &stats);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(adaptive_result_to_json(results[i]).dump(), expected[i])
+        << "adaptive job " << i << " diverged from the in-process run";
+  }
+  EXPECT_EQ(stats.jobs_completed, static_cast<long long>(jobs.size()));
+}
+
+// --- SvcTimeout: wall-clock deadline enforcement (not TSan-safe) ---
+
+TEST(SvcTimeout, HungJobIsKilledAtDeadlineAndRetriedByteIdentically) {
+  SweepSpec spec = small_spec();
+  spec.points.resize(1);  // 3 jobs — keep the deadline waits short
+  const std::string reference = fingerprint(spec, run_sweep_sequential(spec));
+  // Generation-0 workers sleep forever on job 0 while their heartbeat
+  // thread keeps the stream alive, so the liveness timer never fires —
+  // only the per-job deadline can catch the wedge.
+  ScopedEnv hang("COLORBARS_SVC_HANG_JOB", "0");
+  ServiceConfig config;
+  config.workers = 2;
+  config.job_deadline_s = 2.0;
+  config.liveness_timeout_s = 60.0;
+  config.heartbeat_interval_s = 0.1;
+  config.respawn_backoff_s = 0.02;
+  SvcStats stats;
+  const std::vector<PointResult> results = run_sweep(spec, config, &stats);
+  EXPECT_EQ(fingerprint(spec, results), reference)
+      << "deadline-kill schedule diverged from the sequential reference";
+  EXPECT_GE(stats.retries, 1);
+  EXPECT_GE(stats.respawns, 1);
+  EXPECT_EQ(stats.jobs_completed, 3);
+}
+
+}  // namespace
+}  // namespace colorbars::svc

@@ -1,0 +1,223 @@
+// trial_grid: command-line front end of the sharded trial service
+// (colorbars::svc). Three modes:
+//
+//   trial_grid sweep  [--workers N] [--trials T] [--trials-per-job J]
+//                     [--orders 8,16] [--frequencies 1000,2000]
+//                     [--symbols S]
+//       Runs an SER sweep grid. --workers 0 (default) runs the
+//       sequential in-process reference; N >= 1 runs the same grid
+//       through N spawned worker processes — output is byte-identical
+//       either way.
+//
+//   trial_grid serve  [--socket PATH] [--workers N] ...sweep flags...
+//       Like sweep, but on an explicit Unix-socket path and with the
+//       scheduler statistics table printed after the run. SIGTERM
+//       drains gracefully: in-flight jobs finish, nothing new is
+//       dispatched.
+//
+//   trial_grid worker --socket PATH [--index I] [--generation G]
+//       Connects to a running server as a worker. (Servers normally
+//       spawn their own workers by re-executing themselves; this mode
+//       exists for debugging the protocol by hand.)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "colorbars/core/link.hpp"
+#include "colorbars/svc/service.hpp"
+
+using namespace colorbars;
+
+namespace {
+
+struct Options {
+  int workers = 0;
+  int trials = 2;
+  int trials_per_job = 1;
+  int symbols = 500;
+  std::vector<int> orders = {8, 16};
+  std::vector<double> frequencies = {1000.0, 2000.0};
+  std::string socket_path;
+  int index = 0;
+  int generation = 0;
+};
+
+std::vector<std::string> split_list(const char* text) {
+  std::vector<std::string> items;
+  std::string current;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) items.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(*p);
+    }
+  }
+  if (!current.empty()) items.push_back(current);
+  return items;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: trial_grid sweep|serve|worker [options]\n"
+               "  sweep/serve: [--workers N] [--trials T] [--trials-per-job J]\n"
+               "               [--orders 8,16] [--frequencies 1000,2000]\n"
+               "               [--symbols S] [--socket PATH]\n"
+               "  worker:      --socket PATH [--index I] [--generation G]\n");
+  std::exit(64);
+}
+
+bool parse_options(int argc, char** argv, Options& options) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (value == nullptr) return false;
+    ++i;
+    if (flag == "--workers") {
+      options.workers = std::atoi(value);
+    } else if (flag == "--trials") {
+      options.trials = std::atoi(value);
+    } else if (flag == "--trials-per-job") {
+      options.trials_per_job = std::atoi(value);
+    } else if (flag == "--symbols") {
+      options.symbols = std::atoi(value);
+    } else if (flag == "--socket") {
+      options.socket_path = value;
+    } else if (flag == "--index") {
+      options.index = std::atoi(value);
+    } else if (flag == "--generation") {
+      options.generation = std::atoi(value);
+    } else if (flag == "--orders") {
+      options.orders.clear();
+      for (const std::string& item : split_list(value)) {
+        options.orders.push_back(std::atoi(item.c_str()));
+      }
+    } else if (flag == "--frequencies") {
+      options.frequencies.clear();
+      for (const std::string& item : split_list(value)) {
+        options.frequencies.push_back(std::atof(item.c_str()));
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+csk::CskOrder order_from_int_or_die(int order) {
+  switch (order) {
+    case 4: return csk::CskOrder::kCsk4;
+    case 8: return csk::CskOrder::kCsk8;
+    case 16: return csk::CskOrder::kCsk16;
+    case 32: return csk::CskOrder::kCsk32;
+    case 64: return csk::CskOrder::kCsk64;
+    default:
+      std::fprintf(stderr, "trial_grid: unsupported CSK order %d\n", order);
+      std::exit(64);
+  }
+}
+
+svc::SweepSpec build_spec(const Options& options) {
+  svc::SweepSpec spec;
+  spec.trials_per_job = options.trials_per_job;
+  for (const int order : options.orders) {
+    for (const double frequency : options.frequencies) {
+      svc::SweepPoint point;
+      point.config.order = order_from_int_or_die(order);
+      point.config.symbol_rate_hz = frequency;
+      point.config.seed = 0x5eed + static_cast<std::uint64_t>(frequency) +
+                          (static_cast<std::uint64_t>(order) << 20);
+      point.kind = svc::TrialKind::kSer;
+      point.trials = options.trials;
+      point.symbols_per_trial = options.symbols;
+      spec.points.push_back(std::move(point));
+    }
+  }
+  return spec;
+}
+
+// Scheduler stats go to stderr: stdout carries only the result table,
+// so a sharded run's stdout diffs clean against the sequential run.
+void print_stats(const svc::SvcStats& stats) {
+  std::fprintf(stderr,
+               "\nscheduler: %lld jobs, %d workers, %.2fs wall, "
+               "%lld retries, %lld respawns, peak queue %lld, "
+               "%lld B out / %lld B in\n",
+               stats.jobs_total, stats.workers, stats.wall_time_s,
+               stats.retries, stats.respawns, stats.max_queue_depth,
+               stats.bytes_sent, stats.bytes_received);
+  for (const svc::WorkerStats& worker : stats.per_worker) {
+    std::fprintf(stderr,
+                 "  worker %d: %lld jobs, %lld retries, %lld respawns, "
+                 "busy %.2fs (max job %.2fs), %lld B out / %lld B in\n",
+                 worker.worker, worker.jobs_completed, worker.retries,
+                 worker.respawns, worker.busy_s, worker.max_job_s,
+                 worker.bytes_sent, worker.bytes_received);
+  }
+}
+
+int run_grid(const Options& options, bool print_scheduler_stats) {
+  const svc::SweepSpec spec = build_spec(options);
+  std::vector<svc::PointResult> results;
+  svc::SvcStats stats;
+  if (options.workers >= 1) {
+    svc::ServiceConfig config;
+    config.workers = options.workers;
+    config.socket_path = options.socket_path;
+    results = svc::run_sweep(spec, config, &stats);
+  } else {
+    results = svc::run_sweep_sequential(spec);
+  }
+
+  std::printf("%-8s %-12s %-8s %-12s %-12s\n", "order", "rate_hz", "trials",
+              "ser_mean", "ser_stddev");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const svc::SweepPoint& point = spec.points[i];
+    std::printf("CSK%-5d %-12.0f %-8d %-12.6f %-12.6f\n",
+                csk::symbol_count(point.config.order),
+                point.config.symbol_rate_hz, results[i].primary.trials,
+                results[i].primary.mean, results[i].primary.stddev);
+  }
+  if (print_scheduler_stats && options.workers >= 1) print_stats(stats);
+  std::printf("grid done: %zu points\n", results.size());
+  return 0;
+}
+
+int run_manual_worker(const Options& options) {
+  if (options.socket_path.empty()) usage();
+  ::setenv("COLORBARS_SVC_WORKER_SOCKET", options.socket_path.c_str(), 1);
+  ::setenv("COLORBARS_SVC_WORKER_INDEX", std::to_string(options.index).c_str(), 1);
+  ::setenv("COLORBARS_SVC_WORKER_GENERATION",
+           std::to_string(options.generation).c_str(), 1);
+  svc::maybe_run_worker();  // never returns with the socket env set
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // When the server re-executes this binary as a worker, the socket env
+  // is already set and this call never returns.
+  svc::maybe_run_worker();
+
+  if (argc < 2) usage();
+  const std::string mode = argv[1];
+  Options options;
+  if (!parse_options(argc, argv, options)) usage();
+
+  try {
+    if (mode == "sweep") return run_grid(options, /*print_scheduler_stats=*/true);
+    if (mode == "serve") {
+      if (options.workers < 1) options.workers = 2;
+      return run_grid(options, /*print_scheduler_stats=*/true);
+    }
+    if (mode == "worker") return run_manual_worker(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trial_grid: %s\n", error.what());
+    return 1;
+  }
+  usage();
+}
